@@ -1,0 +1,1 @@
+bin/dfsssp_route.ml: Arg Cmd Cmdliner Deadlock Dfsssp Format Harness List Logs Manpage Netgraph Option Out_channel Printf Result Routing Simulator String Sys Term Unix

@@ -1,0 +1,1 @@
+bin/dfsssp_route.mli:

@@ -1,0 +1,1 @@
+bin/experiments.ml: Arg Cmd Cmdliner Harness List Printf String Sys Term Unix

@@ -1,0 +1,1 @@
+bin/fabric_tool.ml: Arg Array Cmd Cmdliner Format Harness Hashtbl List Netgraph Option Out_channel Printf String Term

@@ -1,0 +1,1 @@
+bin/fabric_tool.mli:

@@ -1,0 +1,1 @@
+bin/simulate.ml: Arg Array Cmd Cmdliner Dfsssp Format Harness List Netgraph Printf Routing Simulator String Term

@@ -1,0 +1,142 @@
+(* Fabric utility belt: generate, inspect, degrade, convert and diff
+   fabrics without touching the routing layer — the jobs an operator (or a
+   test pipeline) does around the subnet manager. *)
+
+open Cmdliner
+
+let load_spec spec =
+  match Harness.Topospec.parse spec with
+  | Ok t -> Ok t
+  | Error msg -> Error (Printf.sprintf "topology: %s" msg)
+
+let print_info (t : Harness.Topospec.t) =
+  let g = t.Harness.Topospec.graph in
+  Format.printf "%s@." t.Harness.Topospec.description;
+  Format.printf "%a@." Netgraph.Graph.pp_stats g;
+  Format.printf "connected: %b@." (Netgraph.Graph.connected g);
+  (match Netgraph.Graph.validate g with
+  | Ok () -> Format.printf "valid: yes@."
+  | Error msg -> Format.printf "valid: NO (%s)@." msg);
+  let switches = Netgraph.Graph.switches g in
+  if Array.length switches > 0 then begin
+    let degrees = Array.map (fun sw -> Netgraph.Graph.degree g sw) switches in
+    Array.sort compare degrees;
+    Format.printf "switch degree: min=%d median=%d max=%d@." degrees.(0)
+      degrees.(Array.length degrees / 2)
+      degrees.(Array.length degrees - 1)
+  end;
+  if Netgraph.Graph.connected g && Netgraph.Graph.num_nodes g <= 2000 then
+    Format.printf "diameter: %d@." (Netgraph.Graph.diameter g)
+
+(* info *)
+let info_cmd =
+  let run spec =
+    match load_spec spec with
+    | Error msg ->
+      prerr_endline msg;
+      2
+    | Ok t ->
+      print_info t;
+      0
+  in
+  let spec = Arg.(required & pos 0 (some string) None & info [] ~docv:"SPEC") in
+  Cmd.v (Cmd.info "info" ~doc:"describe a fabric") Term.(const run $ spec)
+
+(* convert *)
+let convert_cmd =
+  let run spec out dot =
+    match load_spec spec with
+    | Error msg ->
+      prerr_endline msg;
+      2
+    | Ok t ->
+      let g = t.Harness.Topospec.graph in
+      Option.iter
+        (fun path ->
+          Netgraph.Serial.save path g;
+          Format.printf "wrote %s@." path)
+        out;
+      Option.iter
+        (fun path ->
+          Out_channel.with_open_text path (fun oc ->
+              Out_channel.output_string oc (Netgraph.Serial.to_dot g));
+          Format.printf "wrote %s@." path)
+        dot;
+      if out = None && dot = None then print_string (Netgraph.Serial.to_string g);
+      0
+  in
+  let spec = Arg.(required & pos 0 (some string) None & info [] ~docv:"SPEC") in
+  let out = Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Text format output.") in
+  let dot = Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE" ~doc:"Graphviz output.") in
+  Cmd.v
+    (Cmd.info "convert" ~doc:"generate a fabric and write it out (stdout text format by default)")
+    Term.(const run $ spec $ out $ dot)
+
+(* degrade *)
+let degrade_cmd =
+  let run spec cables seed out =
+    match load_spec spec with
+    | Error msg ->
+      prerr_endline msg;
+      2
+    | Ok t ->
+      let rng = Netgraph.Rng.create seed in
+      let g', removed = Netgraph.Degrade.remove_cables t.Harness.Topospec.graph ~rng ~count:cables in
+      Format.printf "removed %d cable(s) (connectivity preserved)@." removed;
+      Format.printf "%a@." Netgraph.Graph.pp_stats g';
+      (match out with
+      | Some path ->
+        Netgraph.Serial.save path g';
+        Format.printf "wrote %s@." path
+      | None -> ());
+      0
+  in
+  let spec = Arg.(required & pos 0 (some string) None & info [] ~docv:"SPEC") in
+  let cables = Arg.(value & opt int 1 & info [ "cables" ] ~docv:"N" ~doc:"Cables to remove.") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED") in
+  let out = Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE") in
+  Cmd.v
+    (Cmd.info "degrade" ~doc:"remove random cables while preserving connectivity")
+    Term.(const run $ spec $ cables $ seed $ out)
+
+(* diff *)
+let diff_cmd =
+  let run spec_a spec_b =
+    match (load_spec spec_a, load_spec spec_b) with
+    | Error msg, _ | _, Error msg ->
+      prerr_endline msg;
+      2
+    | Ok a, Ok b ->
+      let ga = a.Harness.Topospec.graph and gb = b.Harness.Topospec.graph in
+      let lines g = String.split_on_char '\n' (Netgraph.Serial.to_string g) in
+      let set_of g =
+        let tbl = Hashtbl.create 256 in
+        List.iter (fun l -> if l <> "" then Hashtbl.replace tbl l ()) (lines g);
+        tbl
+      in
+      let sa = set_of ga and sb = set_of gb in
+      let only_in name here there =
+        let shown = ref 0 in
+        Hashtbl.iter
+          (fun l () ->
+            if not (Hashtbl.mem there l) then begin
+              if !shown < 50 then Format.printf "%s %s@." name l;
+              incr shown
+            end)
+          here;
+        !shown
+      in
+      let a_only = only_in "-" sa sb in
+      let b_only = only_in "+" sb sa in
+      Format.printf "@.%d line(s) only in first, %d only in second@." a_only b_only;
+      if a_only = 0 && b_only = 0 then 0 else 1
+  in
+  let spec_a = Arg.(required & pos 0 (some string) None & info [] ~docv:"SPEC_A") in
+  let spec_b = Arg.(required & pos 1 (some string) None & info [] ~docv:"SPEC_B") in
+  Cmd.v
+    (Cmd.info "diff" ~doc:"structural diff of two fabrics (canonical text form)")
+    Term.(const run $ spec_a $ spec_b)
+
+let () =
+  let doc = "fabric generation, inspection and conversion utilities" in
+  exit (Cmd.eval' (Cmd.group (Cmd.info "fabric_tool" ~version:"1.0.0" ~doc) [ info_cmd; convert_cmd; degrade_cmd; diff_cmd ]))

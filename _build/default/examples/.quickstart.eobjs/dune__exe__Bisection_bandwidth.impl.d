@@ -1,0 +1,1 @@
+examples/bisection_bandwidth.ml: Array Clusters Dfsssp Format Graph List Netgraph Printf Rng Routing Simulator Sys

@@ -1,0 +1,1 @@
+examples/custom_topology.ml: Array Dfsssp Format Graph In_channel Netgraph Node Out_channel Path Printf Routing Serial String Sys

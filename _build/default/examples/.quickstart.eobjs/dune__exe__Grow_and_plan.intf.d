@@ -1,0 +1,1 @@
+examples/grow_and_plan.mli:

@@ -1,0 +1,1 @@
+examples/heuristics_tour.ml: Array Deadlock Dfsssp Format List Netgraph Rng Routing Simulator Sys Topo_random

@@ -1,0 +1,1 @@
+examples/heuristics_tour.mli:

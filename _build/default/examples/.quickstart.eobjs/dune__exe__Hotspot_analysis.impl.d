@@ -1,0 +1,1 @@
+examples/hotspot_analysis.ml: Array Format Graph Harness List Netgraph Printf Rng Simulator String Sys

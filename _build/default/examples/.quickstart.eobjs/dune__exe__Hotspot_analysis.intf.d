@@ -1,0 +1,1 @@
+examples/hotspot_analysis.mli:

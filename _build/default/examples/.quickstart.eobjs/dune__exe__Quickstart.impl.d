@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Dfsssp Format Graph Netgraph Node Path Routing Topo_torus

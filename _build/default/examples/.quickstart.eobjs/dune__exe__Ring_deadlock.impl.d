@@ -1,0 +1,1 @@
+examples/ring_deadlock.ml: Array Dfsssp Format Graph Netgraph Routing Simulator Topo_ring

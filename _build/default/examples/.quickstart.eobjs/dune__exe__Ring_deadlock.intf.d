@@ -1,0 +1,1 @@
+examples/ring_deadlock.mli:

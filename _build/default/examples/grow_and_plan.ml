@@ -1,0 +1,24 @@
+(* The operator's year, compressed: a clean fat tree accretes a second
+   island, service gear and a legacy ring (the paper introduction's
+   "machines grow over time"); specialized routings fall over one by one
+   while DFSSSP keeps the fabric deadlock-free — and when bandwidth sags,
+   the capacity planner prices which single cable would help most.
+
+   Run with:  dune exec examples/grow_and_plan.exe *)
+
+let () =
+  Format.printf "=== growth: who survives each extension? ===@.@.";
+  Harness.Report.print (Harness.Growth.sweep ~patterns:30 ());
+  let final = List.nth (Harness.Growth.stages ()) 3 in
+  Format.printf "@.=== capacity planning on the final fabric (%s) ===@.@." final.Harness.Growth.label;
+  match Harness.Planner.suggest ~candidates:6 ~patterns:30 ~algorithm:"dfsssp" final.Harness.Growth.graph with
+  | Error msg -> Printf.eprintf "planner: %s\n" msg
+  | Ok suggestions ->
+    Format.printf "%-14s  %-14s  %9s  %9s  %s@." "from" "to" "eBB now" "eBB then" "gain";
+    List.iter
+      (fun (s : Harness.Planner.suggestion) ->
+        Format.printf "%-14s  %-14s  %9.4f  %9.4f  %+.1f%%@." s.Harness.Planner.from_switch
+          s.Harness.Planner.to_switch s.Harness.Planner.ebb_before s.Harness.Planner.ebb_after
+          (100.0 *. s.Harness.Planner.gain))
+      suggestions;
+    Format.printf "@.(each row is a full re-route and re-measurement of the upgraded fabric)@."

@@ -1,0 +1,61 @@
+(* Operator-style congestion diagnosis: run a workload pattern over a
+   fabric under two routings and compare where the traffic concentrates —
+   the hottest channels, the load histogram, and the per-flow bandwidth
+   shares. This is the view that explains *why* a routing underperforms,
+   not just that it does.
+
+   Run with:  dune exec examples/hotspot_analysis.exe -- [topology] [pattern]
+   e.g.       dune exec examples/hotspot_analysis.exe -- cluster:deimos:8 tornado *)
+
+open Netgraph
+
+let pattern_of_name name ranks =
+  match String.lowercase_ascii name with
+  | "all-to-all" -> Ok (Simulator.Patterns.all_to_all ranks)
+  | "bisection" ->
+    let rng = Rng.create 42 in
+    Ok (Simulator.Patterns.random_bisection rng ranks)
+  | other -> (
+    match List.assoc_opt other Simulator.Patterns.adversarial with
+    | Some p -> p ranks
+    | None ->
+      Error
+        (Printf.sprintf "unknown pattern %S (want all-to-all|bisection|%s)" other
+           (String.concat "|" (List.map fst Simulator.Patterns.adversarial))))
+
+let () =
+  let topo = if Array.length Sys.argv > 1 then Sys.argv.(1) else "cluster:deimos:8" in
+  let pattern_name = if Array.length Sys.argv > 2 then Sys.argv.(2) else "tornado" in
+  match Harness.Topospec.parse topo with
+  | Error msg ->
+    Printf.eprintf "topology: %s\n" msg;
+    exit 2
+  | Ok spec -> (
+    let g = spec.Harness.Topospec.graph in
+    Format.printf "fabric: %s (%a)@." spec.Harness.Topospec.description Graph.pp_stats g;
+    match pattern_of_name pattern_name (Graph.terminals g) with
+    | Error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 2
+    | Ok flows ->
+      Format.printf "pattern: %s, %d flows@.@." pattern_name (Array.length flows);
+      List.iter
+        (fun name ->
+          match Harness.Runs.run_named name g with
+          | Error msg -> Format.printf "%s: refused (%s)@.@." name msg
+          | Ok ft ->
+            let r = Simulator.Congestion.evaluate ft ~flows in
+            Format.printf "%s: mean share %.4f, worst flow %.4f, hottest channel carries %d flows@."
+              name r.Simulator.Congestion.mean_share r.Simulator.Congestion.min_share
+              r.Simulator.Congestion.max_congestion;
+            Format.printf "  hottest channels:@.";
+            List.iter
+              (fun (h : Simulator.Congestion.hotspot) ->
+                Format.printf "    %-18s -> %-18s  %4d flows@." h.Simulator.Congestion.src_name
+                  h.Simulator.Congestion.dst_name h.Simulator.Congestion.load)
+              (Simulator.Congestion.hotspots ~top:5 ft ~flows);
+            let hist = Simulator.Congestion.load_histogram r in
+            let busiest = List.filter (fun (l, _) -> l > 0) hist in
+            Format.printf "  load histogram (load x channels): %s@.@."
+              (String.concat ", " (List.map (fun (l, n) -> Printf.sprintf "%dx%d" l n) busiest)))
+        [ "minhop"; "dfsssp" ])

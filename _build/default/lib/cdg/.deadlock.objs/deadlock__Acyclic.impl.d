@@ -1,0 +1,1 @@
+lib/cdg/acyclic.ml: Array Cdg Fun Graph Parallel Queue

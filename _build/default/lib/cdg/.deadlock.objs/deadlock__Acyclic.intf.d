@@ -1,0 +1,1 @@
+lib/cdg/acyclic.mli: Cdg Graph Path

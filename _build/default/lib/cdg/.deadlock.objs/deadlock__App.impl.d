@@ -1,0 +1,1 @@
+lib/cdg/app.ml: Array Fun Hashtbl List Option Queue

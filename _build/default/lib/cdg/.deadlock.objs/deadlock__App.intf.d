@@ -1,0 +1,1 @@
+lib/cdg/app.mli:

@@ -1,0 +1,1 @@
+lib/cdg/cdg.ml: Array Graph Hashtbl

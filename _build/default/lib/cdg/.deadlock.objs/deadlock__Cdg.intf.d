@@ -1,0 +1,1 @@
+lib/cdg/cdg.mli: Graph Path

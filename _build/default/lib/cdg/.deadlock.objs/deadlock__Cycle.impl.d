@@ -1,0 +1,1 @@
+lib/cdg/cycle.ml: Array Cdg Graph List

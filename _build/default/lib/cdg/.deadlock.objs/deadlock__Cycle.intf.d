@@ -1,0 +1,1 @@
+lib/cdg/cycle.mli: Cdg

@@ -1,0 +1,1 @@
+lib/cdg/heuristic.ml: Array Cdg Printf String

@@ -1,0 +1,1 @@
+lib/cdg/layers.ml: Array Cdg Cycle Float Heuristic List Logs Printf

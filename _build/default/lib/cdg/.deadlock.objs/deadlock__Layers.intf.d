@@ -1,0 +1,1 @@
+lib/cdg/layers.mli: Graph Heuristic Path

@@ -1,0 +1,1 @@
+lib/cdg/online.ml: Array Cdg Graph List Logs Pk_order Printf

@@ -1,0 +1,1 @@
+lib/cdg/online.mli: Graph Path

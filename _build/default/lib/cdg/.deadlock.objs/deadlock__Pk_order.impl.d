@@ -1,0 +1,1 @@
+lib/cdg/pk_order.ml: Array Cdg Channel Fun Graph Hashtbl List

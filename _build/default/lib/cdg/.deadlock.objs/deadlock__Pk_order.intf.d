@@ -1,0 +1,1 @@
+lib/cdg/pk_order.mli: Cdg

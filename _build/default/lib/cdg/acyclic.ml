@@ -1,0 +1,30 @@
+let is_acyclic cdg =
+  let g = Cdg.graph cdg in
+  let m = Graph.num_channels g in
+  let indeg = Array.make m 0 in
+  Cdg.iter_edges cdg (fun _ c2 _ -> indeg.(c2) <- indeg.(c2) + 1);
+  let queue = Queue.create () in
+  for c = 0 to m - 1 do
+    if indeg.(c) = 0 then Queue.add c queue
+  done;
+  let seen = ref 0 in
+  while not (Queue.is_empty queue) do
+    let c = Queue.take queue in
+    incr seen;
+    Array.iter
+      (fun c2 ->
+        indeg.(c2) <- indeg.(c2) - 1;
+        if indeg.(c2) = 0 then Queue.add c2 queue)
+      (Cdg.successors cdg c)
+  done;
+  !seen = m
+
+let layers_acyclic ?(domains = 1) g ~paths ~layer_of_path ~num_layers =
+  if Array.length paths <> Array.length layer_of_path then
+    invalid_arg "Acyclic.layers_acyclic: length mismatch";
+  let check vl =
+    let cdg = Cdg.create g in
+    Array.iteri (fun i p -> if layer_of_path.(i) = vl then Cdg.add_path cdg ~pair:i p) paths;
+    is_acyclic cdg
+  in
+  Parallel.for_all ~domains:(min domains num_layers) check (Array.init num_layers Fun.id)

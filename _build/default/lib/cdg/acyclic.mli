@@ -1,0 +1,15 @@
+(** Acyclicity verification for channel dependency graphs, by Kahn's
+    topological sort — deliberately independent of the resumable DFS in
+    {!Cycle} so each can validate the other in tests. *)
+
+(** [is_acyclic cdg] is [true] iff the CDG currently has no directed
+    cycle. *)
+val is_acyclic : Cdg.t -> bool
+
+(** [layers_acyclic ?domains g ~paths ~layer_of_path ~num_layers] rebuilds
+    one CDG per layer from scratch and checks each — the end-to-end
+    deadlock-freedom criterion (paper Theorem 1 direction used:
+    acyclic => deadlock-free). Layers are independent; [domains > 1]
+    checks them on that many OCaml domains. *)
+val layers_acyclic :
+  ?domains:int -> Graph.t -> paths:Path.t array -> layer_of_path:int array -> num_layers:int -> bool

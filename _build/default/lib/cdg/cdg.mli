@@ -1,0 +1,56 @@
+(** Channel dependency graphs (Dally & Seitz): nodes are the fabric's
+    directed channels; a directed edge (c1, c2) exists iff some route
+    traverses c1 immediately followed by c2. A routing is deadlock-free if
+    its CDG is acyclic (the sufficient condition the paper builds on).
+
+    Each edge carries the multiset of routes ("pairs") inducing it — the
+    bookkeeping the paper's offline algorithm needs to relocate all routes
+    of a broken edge to the next virtual layer. Pair identifiers are
+    caller-chosen dense integers.
+
+    Removal strategy: [remove_path] keeps exact per-edge counts and drops
+    edges whose count reaches zero, but does {e not} eagerly prune the
+    inducing-pair lists; callers that relocate pairs must filter
+    {!edge_pairs} through their own pair-to-layer map (see {!Layers}). *)
+
+type t
+
+val create : Graph.t -> t
+
+val graph : t -> Graph.t
+
+(** [add_path t ~pair p] inserts every dependency of path [p], crediting
+    [pair]. A pair must not be added to the same CDG twice. Paths shorter
+    than two channels induce nothing but still count as carried paths. *)
+val add_path : t -> pair:int -> Path.t -> unit
+
+(** [remove_path t p] decrements every dependency of [p]. The caller must
+    only remove paths previously added.
+    @raise Invalid_argument if an edge of [p] is not present. *)
+val remove_path : t -> Path.t -> unit
+
+(** [live t ~c1 ~c2] is [true] iff the edge currently has a positive
+    count. *)
+val live : t -> c1:int -> c2:int -> bool
+
+(** Current number of inducing routes of an edge (0 if absent). *)
+val edge_count : t -> c1:int -> c2:int -> int
+
+(** All pairs ever credited to a currently-live edge — may include pairs
+    whose paths were since removed; filter against external state.
+    [[]] if the edge is dead. *)
+val edge_pairs : t -> c1:int -> c2:int -> int list
+
+(** Snapshot of the live successor channels of [c] (fresh array). *)
+val successors : t -> int -> int array
+
+(** Number of live edges. *)
+val num_edges : t -> int
+
+(** Number of paths currently carried (added minus removed). *)
+val num_paths : t -> int
+
+val is_empty : t -> bool
+
+(** [iter_edges t f] calls [f c1 c2 count] for every live edge. *)
+val iter_edges : t -> (int -> int -> int -> unit) -> unit

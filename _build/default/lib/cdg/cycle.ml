@@ -1,0 +1,98 @@
+type color =
+  | White
+  | Gray
+  | Black
+
+type frame = {
+  node : int;
+  succs : int array; (* snapshot of successors at push time *)
+  mutable cursor : int;
+}
+
+type t = {
+  cdg : Cdg.t;
+  color : color array;
+  mutable stack : frame list; (* top first *)
+  stack_pos : int array; (* channel -> depth in stack, or -1 *)
+  mutable depth : int;
+  mutable next_root : int;
+}
+
+let create cdg =
+  let m = Graph.num_channels (Cdg.graph cdg) in
+  { cdg; color = Array.make m White; stack = []; stack_pos = Array.make m (-1); depth = 0; next_root = 0 }
+
+let push t node =
+  t.color.(node) <- Gray;
+  t.stack_pos.(node) <- t.depth;
+  t.depth <- t.depth + 1;
+  t.stack <- { node; succs = Cdg.successors t.cdg node; cursor = 0 } :: t.stack
+
+let pop t =
+  match t.stack with
+  | [] -> assert false
+  | f :: rest ->
+    t.color.(f.node) <- Black;
+    t.stack_pos.(f.node) <- -1;
+    t.depth <- t.depth - 1;
+    t.stack <- rest
+
+(* Cycle through the gray node [target]: the stack edges from [target]'s
+   depth up to the top, plus the closing back edge (top, target). *)
+let extract_cycle t target =
+  let top_depth = t.depth - 1 in
+  let start_depth = t.stack_pos.(target) in
+  let len = top_depth - start_depth + 1 in
+  let nodes = Array.make len 0 in
+  List.iteri (fun i f -> if i < len then nodes.(len - 1 - i) <- f.node) t.stack;
+  Array.init len (fun i -> if i = len - 1 then (nodes.(i), target) else (nodes.(i), nodes.(i + 1)))
+
+let find_cycle t =
+  let m = Array.length t.color in
+  let result = ref None in
+  let running = ref true in
+  while !running do
+    match t.stack with
+    | [] ->
+      if t.next_root >= m then running := false
+      else if t.color.(t.next_root) = White then push t t.next_root
+      else t.next_root <- t.next_root + 1
+    | f :: _ ->
+      if f.cursor >= Array.length f.succs then pop t
+      else begin
+        let s = f.succs.(f.cursor) in
+        if not (Cdg.live t.cdg ~c1:f.node ~c2:s) then f.cursor <- f.cursor + 1
+        else
+          match t.color.(s) with
+          | Gray ->
+            (* Do not advance the cursor: if the caller breaks the cycle
+               elsewhere, the same back edge must be re-examined; if the
+               caller kills this edge, the liveness check skips it. *)
+            result := Some (extract_cycle t s);
+            running := false
+          | Black -> f.cursor <- f.cursor + 1
+          | White ->
+            f.cursor <- f.cursor + 1;
+            push t s
+      end
+  done;
+  !result
+
+let notify_removed t =
+  (* Walk from the bottom; cut at the first dead stack edge. *)
+  let frames = Array.of_list (List.rev t.stack) in
+  let n = Array.length frames in
+  let cut = ref n in
+  for i = 1 to n - 1 do
+    if !cut = n && not (Cdg.live t.cdg ~c1:frames.(i - 1).node ~c2:frames.(i).node) then cut := i
+  done;
+  if !cut < n then begin
+    (* Frames cut..n-1 revert to white (unexplored). *)
+    for i = !cut to n - 1 do
+      t.color.(frames.(i).node) <- White;
+      t.stack_pos.(frames.(i).node) <- -1
+    done;
+    t.depth <- !cut;
+    let rec keep i acc = if i >= !cut then acc else keep (i + 1) (frames.(i) :: acc) in
+    t.stack <- keep 0 []
+  end

@@ -1,0 +1,27 @@
+(** Cycle-breaking heuristics (paper Section IV). The APP problem is
+    NP-complete, so DFSSSP picks the edge to evict from a cycle
+    heuristically:
+
+    - [Weakest]: the edge induced by the fewest routes — moves the least
+      work to the next layer; the paper's winner (3–5 layers on its random
+      topologies).
+    - [Heaviest]: the edge induced by the most routes — hopes to break
+      undiscovered cycles alongside; the paper's worst (4–16 layers).
+    - [First_edge]: the first edge of the discovered cycle —
+      pseudo-random baseline (4–8 layers). *)
+
+type t =
+  | Weakest
+  | Heaviest
+  | First_edge
+
+val all : t list
+
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+
+(** [choose h cdg cycle] picks the edge of [cycle] to break. Ties go to
+    the earliest edge in cycle order.
+    @raise Invalid_argument on an empty cycle. *)
+val choose : t -> Cdg.t -> (int * int) array -> int * int

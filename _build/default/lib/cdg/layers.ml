@@ -1,0 +1,119 @@
+let log_src = Logs.Src.create "deadlock.layers" ~doc:"offline virtual-layer assignment (Algorithm 2)"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type outcome = {
+  layer_of_path : int array;
+  layers_used : int;
+  cycles_broken : int;
+}
+
+let assign g ~paths ~max_layers ~heuristic =
+  if max_layers < 1 then invalid_arg "Layers.assign: max_layers < 1";
+  let n = Array.length paths in
+  let layer_of_path = Array.make n 0 in
+  let cycles_broken = ref 0 in
+  let cdgs = Array.make max_layers None in
+  let cdg i =
+    match cdgs.(i) with
+    | Some c -> c
+    | None ->
+      let c = Cdg.create g in
+      cdgs.(i) <- Some c;
+      c
+  in
+  let first = cdg 0 in
+  Array.iteri (fun i p -> Cdg.add_path first ~pair:i p) paths;
+  let error = ref None in
+  let vl = ref 0 in
+  while !error = None && !vl < max_layers && cdgs.(!vl) <> None do
+    let current = cdg !vl in
+    let search = Cycle.create current in
+    let sweeping = ref true in
+    while !sweeping && !error = None do
+      match Cycle.find_cycle search with
+      | None -> sweeping := false
+      | Some cycle ->
+        incr cycles_broken;
+        if !vl + 1 >= max_layers then
+          error :=
+            Some
+              (Printf.sprintf "cycle remains in layer %d and no layer is left (max %d)" !vl max_layers)
+        else begin
+          let c1, c2 = Heuristic.choose heuristic current cycle in
+          let movers =
+            List.filter (fun pr -> layer_of_path.(pr) = !vl) (Cdg.edge_pairs current ~c1 ~c2)
+          in
+          Log.debug (fun m ->
+              m "layer %d: cycle of %d edges; evicting edge (%d,%d) with %d routes" !vl
+                (Array.length cycle) c1 c2 (List.length movers));
+          let next = cdg (!vl + 1) in
+          List.iter
+            (fun pr ->
+              Cdg.remove_path current paths.(pr);
+              Cdg.add_path next ~pair:pr paths.(pr);
+              layer_of_path.(pr) <- !vl + 1)
+            movers;
+          Cycle.notify_removed search
+        end
+    done;
+    incr vl
+  done;
+  match !error with
+  | Some msg -> Error msg
+  | None ->
+    let layers_used = 1 + Array.fold_left max 0 layer_of_path in
+    Log.info (fun m ->
+        m "assigned %d routes over %d layer(s), breaking %d cycle(s)" n layers_used !cycles_broken);
+    Ok { layer_of_path; layers_used; cycles_broken = !cycles_broken }
+
+let balance outcome ~max_layers =
+  let used = outcome.layers_used in
+  if max_layers <= used then (Array.copy outcome.layer_of_path, used)
+  else begin
+    let n = Array.length outcome.layer_of_path in
+    let counts = Array.make used 0 in
+    Array.iter (fun l -> counts.(l) <- counts.(l) + 1) outcome.layer_of_path;
+    (* Apportion the max_layers slots to the original layers proportionally
+       to their route counts (largest remainder), at least one slot each. *)
+    let total = float_of_int n in
+    let slots = Array.make used 1 in
+    let assigned = ref used in
+    let quota = Array.init used (fun l -> float_of_int counts.(l) /. total *. float_of_int max_layers) in
+    (* integer parts beyond the guaranteed 1 *)
+    for l = 0 to used - 1 do
+      let extra = max 0 (int_of_float quota.(l) - 1) in
+      let extra = min extra (max_layers - !assigned) in
+      slots.(l) <- slots.(l) + extra;
+      assigned := !assigned + extra
+    done;
+    let order = Array.init used (fun l -> l) in
+    Array.sort
+      (fun a b ->
+        compare (quota.(b) -. Float.of_int slots.(b)) (quota.(a) -. Float.of_int slots.(a)))
+      order;
+    let i = ref 0 in
+    while !assigned < max_layers do
+      let l = order.(!i mod used) in
+      slots.(l) <- slots.(l) + 1;
+      incr assigned;
+      incr i
+    done;
+    (* New layer ids: original layer l owns a contiguous block of slots;
+       its routes round-robin over the block. Any subset of an acyclic
+       layer is acyclic, and blocks never mix layers. *)
+    let base = Array.make used 0 in
+    for l = 1 to used - 1 do
+      base.(l) <- base.(l - 1) + slots.(l - 1)
+    done;
+    let seen = Array.make used 0 in
+    let fresh =
+      Array.map
+        (fun l ->
+          let slot = seen.(l) mod slots.(l) in
+          seen.(l) <- seen.(l) + 1;
+          base.(l) + slot)
+        outcome.layer_of_path
+    in
+    (fresh, max_layers)
+  end

@@ -1,0 +1,33 @@
+(** Offline virtual-layer assignment — the paper's Algorithm 2 ("Search
+    and Remove Deadlocks"). All routes start in layer 0; each layer's CDG
+    is swept by one resumable cycle search, and every cycle found is
+    broken by relocating the routes of one heuristically-chosen edge to
+    the next layer, until every layer is acyclic. *)
+
+type outcome = {
+  layer_of_path : int array;  (** path index -> virtual layer *)
+  layers_used : int;  (** number of non-empty layers, the paper's VL count *)
+  cycles_broken : int;
+}
+
+(** [assign g ~paths ~max_layers ~heuristic] distributes the given routes
+    over at most [max_layers] virtual layers so every layer's CDG is
+    acyclic. Path indices are the caller's route identifiers. Returns
+    [Error] if a cycle survives in the last allowed layer (the fabric then
+    cannot be routed deadlock-free with this budget — the paper's failed
+    configurations). *)
+val assign :
+  Graph.t ->
+  paths:Path.t array ->
+  max_layers:int ->
+  heuristic:Heuristic.t ->
+  (outcome, string) result
+
+(** [balance outcome ~paths_per_layer:counts ~max_layers] spreads routes
+    of heavily-populated layers over the unused layers (the tail of
+    Algorithm 2): each unused layer receives a subset of exactly one
+    original layer — subsets of an acyclic edge set stay acyclic, so no
+    new cycle search is needed. Returns the new per-path layer array and
+    the (now larger) number of layers in use; [layers_used] of the
+    original outcome remains the VL requirement to report. *)
+val balance : outcome -> max_layers:int -> int array * int

@@ -1,0 +1,111 @@
+let log_src = Logs.Src.create "deadlock.online" ~doc:"online virtual-layer assignment"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type outcome = {
+  layer_of_path : int array;
+  layers_used : int;
+  cycle_checks : int;
+}
+
+(* Adding path edges E_new to an acyclic CDG creates a cycle iff some
+   {e newly created} edge (a, b) has a directed route from b back to a
+   afterwards — dependencies the layer already carried cannot close
+   anything new, so only 0->1 count transitions are probed (this is what
+   keeps LASH tractable on fabrics with millions of routes: distinct
+   routes share almost all their dependencies). One DFS from each new
+   edge's head suffices; stamped visit marks avoid reinitialization. *)
+let creates_cycle cdg fresh_edges stamp stamps checks =
+  let rec probe = function
+    | [] -> false
+    | (a, b) :: rest ->
+      incr checks;
+      incr stamp;
+      let target = a in
+      let rec dfs c =
+        if c = target then true
+        else if stamps.(c) = !stamp then false
+        else begin
+          stamps.(c) <- !stamp;
+          Array.exists dfs (Cdg.successors cdg c)
+        end
+      in
+      if dfs b then true else probe rest
+  in
+  probe fresh_edges
+
+let fresh_dependencies cdg path =
+  let n = Array.length path in
+  let rec go i acc =
+    if i >= n - 1 then acc
+    else begin
+      let a = path.(i) and b = path.(i + 1) in
+      if Cdg.live cdg ~c1:a ~c2:b then go (i + 1) acc else go (i + 1) ((a, b) :: acc)
+    end
+  in
+  go 0 []
+
+let assign ?(engine = `Dfs) g ~paths ~max_layers =
+  if max_layers < 1 then invalid_arg "Online.assign: max_layers < 1";
+  let n = Array.length paths in
+  let layer_of_path = Array.make n 0 in
+  let cdgs = ref [| Cdg.create g |] in
+  let pks = ref [| (match engine with `Pk -> Some (Pk_order.create !cdgs.(0)) | `Dfs -> None) |] in
+  let stamps = Array.make (Graph.num_channels g) 0 in
+  let stamp = ref 0 in
+  let checks = ref 0 in
+  let error = ref None in
+  (* [`Pk] registers the fresh dependencies one by one; a rejected edge
+     leaves the order untouched and the path is rolled out of the CDG
+     (edge deletions never invalidate a topological order). *)
+  let pk_rejects pk fresh =
+    let rec go = function
+      | [] -> false
+      | (a, b) :: rest ->
+        incr checks;
+        if Pk_order.insert pk ~c1:a ~c2:b then go rest else true
+    in
+    go (List.rev fresh)
+  in
+  Array.iteri
+    (fun i p ->
+      if !error = None then begin
+        let placed = ref false in
+        let vl = ref 0 in
+        while (not !placed) && !error = None do
+          if !vl >= Array.length !cdgs then
+            if Array.length !cdgs >= max_layers then
+              error := Some (Printf.sprintf "path %d fits no layer (max %d)" i max_layers)
+            else begin
+              let cdg = Cdg.create g in
+              cdgs := Array.append !cdgs [| cdg |];
+              pks :=
+                Array.append !pks [| (match engine with `Pk -> Some (Pk_order.create cdg) | `Dfs -> None) |]
+            end;
+          if !error = None then begin
+            let cdg = !cdgs.(!vl) in
+            let fresh = fresh_dependencies cdg p in
+            Cdg.add_path cdg ~pair:i p;
+            let rejected =
+              match !pks.(!vl) with
+              | Some pk -> pk_rejects pk fresh
+              | None -> creates_cycle cdg fresh stamp stamps checks
+            in
+            if rejected then begin
+              Cdg.remove_path cdg p;
+              incr vl
+            end
+            else begin
+              layer_of_path.(i) <- !vl;
+              placed := true
+            end
+          end
+        done
+      end)
+    paths;
+  match !error with
+  | Some msg -> Error msg
+  | None ->
+    let layers_used = 1 + Array.fold_left max 0 layer_of_path in
+    Log.info (fun m -> m "placed %d routes over %d layer(s) with %d cycle probes" n layers_used !checks);
+    Ok { layer_of_path; layers_used; cycle_checks = !checks }

@@ -1,0 +1,25 @@
+(** Online (path-at-a-time) virtual-layer assignment, as used by LASH and
+    by the paper's first, slower DFSSSP variant: each route is placed into
+    the lowest layer where its dependencies close no cycle; a fresh layer
+    is opened when none fits. Requires a cycle check per path — the
+    O(|N|^2 (|C|+|E|)) cost the offline algorithm avoids. *)
+
+type outcome = {
+  layer_of_path : int array;
+  layers_used : int;
+  cycle_checks : int;  (** number of cycle probes performed *)
+}
+
+(** Incremental cycle-check engine:
+    - [`Dfs] (default): one reachability DFS per fresh dependency — the
+      straightforward implementation whose cost the paper complains about;
+    - [`Pk]: Pearce–Kelly dynamic topological ordering ({!Pk_order}) —
+      only the affected region between the new edge's endpoints is
+      visited, which makes the online variant far cheaper on large
+      fabrics. Both engines accept and reject exactly the same paths. *)
+val assign :
+  ?engine:[ `Dfs | `Pk ] ->
+  Graph.t ->
+  paths:Path.t array ->
+  max_layers:int ->
+  (outcome, string) result

@@ -1,0 +1,1 @@
+lib/core/dfsssp.ml: Multipath Registry Router Verify

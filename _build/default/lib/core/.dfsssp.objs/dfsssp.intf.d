@@ -1,0 +1,1 @@
+lib/core/dfsssp.mli: Multipath Registry Router Verify

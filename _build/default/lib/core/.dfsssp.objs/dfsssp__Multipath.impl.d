@@ -1,0 +1,1 @@
+lib/core/multipath.ml: Acyclic Array Ftable Heuristic Layers List Printf Router Routing

@@ -1,0 +1,1 @@
+lib/core/multipath.mli: Ftable Graph Heuristic Path Router

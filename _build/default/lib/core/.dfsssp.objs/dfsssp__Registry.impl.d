@@ -1,0 +1,1 @@
+lib/core/registry.ml: Ftable Graph List Result Router Routing String

@@ -1,0 +1,1 @@
+lib/core/router.ml: Array Graph Heuristic Layers List Logs Online Routing

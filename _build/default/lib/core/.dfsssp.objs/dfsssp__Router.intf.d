@@ -1,0 +1,1 @@
+lib/core/router.mli: Ftable Graph Heuristic

@@ -1,0 +1,1 @@
+lib/core/verify.ml: Acyclic Array Format Ftable List Result Routing

@@ -1,0 +1,4 @@
+include Router
+module Verify = Verify
+module Registry = Registry
+module Multipath = Multipath

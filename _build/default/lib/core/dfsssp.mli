@@ -1,0 +1,16 @@
+(** Deadlock-free single-source-shortest-path routing (DFSSSP) — the
+    public API of this library. [Dfsssp.route] computes globally-balanced
+    minimal routes (SSSP) and partitions them over virtual layers so every
+    layer's channel dependency graph is acyclic; {!Verify} checks the
+    result end to end; {!Registry} exposes the paper's full algorithm
+    line-up under one interface. *)
+
+include module type of struct
+  include Router
+end
+
+module Verify : module type of Verify
+
+module Registry : module type of Registry
+
+module Multipath : module type of Multipath

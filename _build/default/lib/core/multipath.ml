@@ -1,0 +1,69 @@
+type t = {
+  planes : Ftable.t array;
+  num_layers : int;
+}
+
+let planes t = t.planes
+
+let graph t = Routing.Ftable.graph t.planes.(0)
+
+let num_layers t = t.num_layers
+
+let collect_all planes =
+  (* combined (plane, src, dst, path) list, in deterministic order *)
+  let acc = ref [] in
+  Array.iteri
+    (fun plane ft ->
+      Routing.Ftable.iter_pairs ft (fun ~src ~dst p -> acc := (plane, src, dst, p) :: !acc))
+    planes;
+  Array.of_list (List.rev !acc)
+
+let route ?(planes = 2) ?(heuristic = Heuristic.Weakest) ?(max_layers = 8) g =
+  if planes < 1 then invalid_arg "Multipath.route: planes < 1";
+  let weights = Routing.Sssp.initial_weights g in
+  let rec build i acc =
+    if i >= planes then Ok (Array.of_list (List.rev acc))
+    else
+      match Routing.Sssp.route_plane g ~weights with
+      | Error msg -> Error (Router.Routing_failed msg)
+      | Ok ft -> build (i + 1) (ft :: acc)
+  in
+  match build 0 [] with
+  | Error _ as e -> e
+  | Ok plane_tables -> (
+    let combined = collect_all plane_tables in
+    let paths = Array.map (fun (_, _, _, p) -> p) combined in
+    match Layers.assign g ~paths ~max_layers ~heuristic with
+    | Error msg -> Error (Router.Layers_exhausted msg)
+    | Ok outcome ->
+      Array.iteri
+        (fun i (plane, src, dst, _) ->
+          Routing.Ftable.set_layer plane_tables.(plane) ~src ~dst outcome.Layers.layer_of_path.(i))
+        combined;
+      Array.iter
+        (fun ft -> Routing.Ftable.set_num_layers ft outcome.Layers.layers_used)
+        plane_tables;
+      Ok { planes = plane_tables; num_layers = outcome.Layers.layers_used })
+
+let path t ~plane ~src ~dst =
+  if plane < 0 || plane >= Array.length t.planes then invalid_arg "Multipath.path: plane out of range";
+  Routing.Ftable.path t.planes.(plane) ~src ~dst
+
+let spread_paths t ~flows =
+  let k = Array.length t.planes in
+  Array.mapi
+    (fun i (src, dst) ->
+      if src = dst then [||]
+      else
+        match Routing.Ftable.path t.planes.(i mod k) ~src ~dst with
+        | Some p -> p
+        | None -> failwith (Printf.sprintf "Multipath.spread_paths: no route %d -> %d" src dst))
+    flows
+
+let deadlock_free t =
+  let combined = collect_all t.planes in
+  let paths = Array.map (fun (_, _, _, p) -> p) combined in
+  let layer_of_path =
+    Array.map (fun (plane, src, dst, _) -> Routing.Ftable.layer t.planes.(plane) ~src ~dst) combined
+  in
+  Acyclic.layers_acyclic (graph t) ~paths ~layer_of_path ~num_layers:t.num_layers

@@ -1,0 +1,96 @@
+let log_src = Logs.Src.create "dfsssp" ~doc:"deadlock-free SSSP routing"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type variant =
+  | Offline
+  | Online
+
+type error =
+  | Routing_failed of string
+  | Layers_exhausted of string
+
+let error_to_string = function
+  | Routing_failed msg -> "dfsssp: routing failed: " ^ msg
+  | Layers_exhausted msg -> "dfsssp: virtual layers exhausted: " ^ msg
+
+let collect_paths ft =
+  let paths = ref [] and pairs = ref [] in
+  Routing.Ftable.iter_pairs ft (fun ~src ~dst p ->
+      paths := p :: !paths;
+      pairs := (src, dst) :: !pairs);
+  (Array.of_list (List.rev !paths), Array.of_list (List.rev !pairs))
+
+let apply_layers ft pairs layer_of_path layers_used =
+  Array.iteri
+    (fun i (src, dst) -> Routing.Ftable.set_layer ft ~src ~dst layer_of_path.(i))
+    pairs;
+  Routing.Ftable.set_num_layers ft layers_used
+
+let assign_layers ?(variant = Offline) ?(heuristic = Heuristic.Weakest) ?(max_layers = 8)
+    ?(balance = false) ft =
+  let g = Routing.Ftable.graph ft in
+  let paths, pairs = collect_paths ft in
+  let assignment =
+    match variant with
+    | Offline -> (
+      match Layers.assign g ~paths ~max_layers ~heuristic with
+      | Error msg -> Error msg
+      | Ok outcome ->
+        let layer_of_path, layers_in_use =
+          if balance then Layers.balance outcome ~max_layers
+          else (outcome.Layers.layer_of_path, outcome.Layers.layers_used)
+        in
+        Ok (layer_of_path, layers_in_use))
+    | Online -> (
+      match Online.assign g ~paths ~max_layers with
+      | Error msg -> Error msg
+      | Ok outcome -> Ok (outcome.Online.layer_of_path, outcome.Online.layers_used))
+  in
+  match assignment with
+  | Error msg -> Error (Layers_exhausted msg)
+  | Ok (layer_of_path, layers_used) ->
+    apply_layers ft pairs layer_of_path layers_used;
+    Ok ft
+
+let route ?variant ?heuristic ?max_layers ?balance g =
+  match Routing.Sssp.route g with
+  | Error msg -> Error (Routing_failed msg)
+  | Ok ft -> (
+    match assign_layers ?variant ?heuristic ?max_layers ?balance ft with
+    | Ok ft as ok ->
+      Log.info (fun m ->
+          m "routed %d terminals over %d channels: %d virtual layer(s)"
+            (Graph.num_terminals (Routing.Ftable.graph ft))
+            (Graph.num_channels (Routing.Ftable.graph ft))
+            (Routing.Ftable.num_layers ft));
+      ok
+    | Error e as err ->
+      Log.err (fun m -> m "%s" (error_to_string e));
+      err)
+
+let layers_required ?variant ?heuristic ?max_layers g =
+  match route ?variant ?heuristic ?max_layers g with
+  | Error e -> Error e
+  | Ok ft -> Ok (Routing.Ftable.num_layers ft)
+
+let route_min_layers ?(max_layers = 8) g =
+  (* Try every cycle-breaking heuristic and keep the assignment with the
+     fewest layers — cheap insurance against the APP heuristic gap the
+     paper leaves open (Section IV). *)
+  let best = ref None in
+  let last_error = ref None in
+  List.iter
+    (fun heuristic ->
+      match route ~heuristic ~max_layers g with
+      | Error e -> last_error := Some e
+      | Ok ft -> (
+        let layers = Routing.Ftable.num_layers ft in
+        match !best with
+        | Some (_, _, best_layers) when best_layers <= layers -> ()
+        | _ -> best := Some (ft, heuristic, layers)))
+    Heuristic.all;
+  match (!best, !last_error) with
+  | Some (ft, heuristic, _), _ -> Ok (ft, heuristic)
+  | None, Some e -> Error e
+  | None, None -> Error (Routing_failed "no heuristic available")

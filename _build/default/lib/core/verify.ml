@@ -1,0 +1,36 @@
+type report = {
+  stats : Ftable.stats;
+  num_layers : int;
+  max_layer_seen : int;
+  deadlock_free : bool;
+}
+
+let collect ft =
+  let paths = ref [] and layers = ref [] in
+  Routing.Ftable.iter_pairs ft (fun ~src ~dst p ->
+      paths := p :: !paths;
+      layers := Routing.Ftable.layer ft ~src ~dst :: !layers);
+  (Array.of_list (List.rev !paths), Array.of_list (List.rev !layers))
+
+let deadlock_free ?(domains = 1) ft =
+  let paths, layer_of_path = collect ft in
+  let num_layers = 1 + Array.fold_left max 0 layer_of_path in
+  Acyclic.layers_acyclic ~domains (Routing.Ftable.graph ft) ~paths ~layer_of_path ~num_layers
+
+let report ft =
+  match Routing.Ftable.validate ft with
+  | Error _ as e -> e |> Result.map (fun _ -> assert false)
+  | Ok stats ->
+    let _, layer_of_path = collect ft in
+    let max_layer_seen = Array.fold_left max 0 layer_of_path in
+    Ok
+      {
+        stats;
+        num_layers = Routing.Ftable.num_layers ft;
+        max_layer_seen;
+        deadlock_free = deadlock_free ft;
+      }
+
+let pp_report ppf r =
+  Format.fprintf ppf "%a layers=%d (max used %d) deadlock_free=%b" Routing.Ftable.pp_stats r.stats
+    r.num_layers r.max_layer_seen r.deadlock_free

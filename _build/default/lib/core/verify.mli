@@ -1,0 +1,23 @@
+(** End-to-end verification of a routing: completeness (every terminal
+    pair reachable by following the tables), minimality, and
+    deadlock-freedom (per-layer channel dependency graphs rebuilt from
+    scratch and checked acyclic — Dally & Seitz's sufficient condition,
+    independent of the assignment machinery that produced the layers). *)
+
+type report = {
+  stats : Ftable.stats;
+  num_layers : int;
+  max_layer_seen : int;  (** highest layer actually used by some route *)
+  deadlock_free : bool;
+}
+
+(** [deadlock_free ?domains ft] rebuilds one CDG per virtual layer from
+    the routes and checks each for cycles; [domains > 1] checks layers in
+    parallel. *)
+val deadlock_free : ?domains:int -> Ftable.t -> bool
+
+(** [report ft] validates routes and checks deadlock-freedom; [Error] if
+    some pair is unroutable. *)
+val report : Ftable.t -> (report, string) result
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,1 @@
+lib/harness/fault_tolerance.ml: Degrade Dfsssp Ftable List Printf Report Rng Runs Simulator Topo_torus Topo_xgft

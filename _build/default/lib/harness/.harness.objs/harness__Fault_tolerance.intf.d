@@ -1,0 +1,1 @@
+lib/harness/fault_tolerance.mli: Report

@@ -1,0 +1,1 @@
+lib/harness/fig_deimos.ml: Array Clusters Fun Graph List Option Parallel Printf Report Rng Runs Simulator

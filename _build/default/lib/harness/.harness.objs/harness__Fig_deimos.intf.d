@@ -1,0 +1,1 @@
+lib/harness/fig_deimos.mli: Report

@@ -1,0 +1,1 @@
+lib/harness/fig_runtime.ml: Clusters Graph List Printf Report Runs Tableone

@@ -1,0 +1,1 @@
+lib/harness/fig_runtime.mli: Report

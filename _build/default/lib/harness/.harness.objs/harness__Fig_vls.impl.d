@@ -1,0 +1,1 @@
+lib/harness/fig_vls.ml: Clusters Dfsssp Ftable Graph Heuristic List Printf Report Rng Runs Topo_random

@@ -1,0 +1,1 @@
+lib/harness/growth.ml: Array Builder Channel Dfsssp Ftable Graph Hashtbl List Node Printf Report Result Rng Routing Runs Simulator Topo_xgft

@@ -1,0 +1,1 @@
+lib/harness/growth.mli: Graph Report

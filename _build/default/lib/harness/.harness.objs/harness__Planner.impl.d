@@ -1,0 +1,1 @@
+lib/harness/planner.ml: Array Builder Channel Graph Hashtbl List Node Rng Runs Simulator

@@ -1,0 +1,1 @@
+lib/harness/report.ml: Array Buffer Filename Fun List Printf String

@@ -1,0 +1,1 @@
+lib/harness/runs.ml: Array Dfsssp Ftable Graph Printf Report Rng Simulator Unix

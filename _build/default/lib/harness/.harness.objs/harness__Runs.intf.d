@@ -1,0 +1,1 @@
+lib/harness/runs.mli: Coords Ftable Graph Report Rng

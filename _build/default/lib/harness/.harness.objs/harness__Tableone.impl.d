@@ -1,0 +1,1 @@
+lib/harness/tableone.ml: Array Graph List Printf Report String Topo_kautz Topo_tree Topo_xgft

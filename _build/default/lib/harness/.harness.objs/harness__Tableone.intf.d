@@ -1,0 +1,1 @@
+lib/harness/tableone.mli: Graph Report

@@ -1,0 +1,1 @@
+lib/harness/topospec.ml: Array Clusters Coords Graph List Printf Result Rng Serial String Topo_dragonfly Topo_hypercube Topo_hyperx Topo_kautz Topo_random Topo_ring Topo_torus Topo_tree Topo_xgft

@@ -1,0 +1,1 @@
+lib/harness/topospec.mli: Coords Graph

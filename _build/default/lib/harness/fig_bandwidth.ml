@@ -1,0 +1,40 @@
+let header = "fabric" :: Runs.paper_algorithms
+
+let sweep_note patterns = Printf.sprintf "%d random bisection patterns per cell; 1.0 = full wire speed" patterns
+
+let fig4 ?(scale = 4) ?(patterns = 50) ?(seed = 1) () =
+  let systems = Clusters.all ~scale () in
+  let rows =
+    List.map
+      (fun (s : Clusters.system) ->
+        Report.Str (Printf.sprintf "%s(%d)" s.name (Graph.num_terminals s.graph))
+        :: List.map (fun alg -> Runs.ebb_cell ~patterns ~seed alg s.graph) Runs.paper_algorithms)
+      systems
+  in
+  {
+    Report.title = Printf.sprintf "Fig. 4: effective bisection bandwidth, real systems (scale 1/%d)" scale;
+    columns = header;
+    rows;
+    notes =
+      [
+        sweep_note patterns;
+        "systems are stand-ins rebuilt from published descriptions (DESIGN.md:substitutions)";
+      ];
+  }
+
+let sweep title graph_of ?(max_endpoints = 1024) ?(patterns = 50) ?(seed = 1) () =
+  let rows =
+    List.map
+      (fun (r : Tableone.row) ->
+        let g = graph_of r in
+        Report.Int r.Tableone.endpoints
+        :: List.map (fun alg -> Runs.ebb_cell ~patterns ~seed alg g) Runs.paper_algorithms)
+      (Tableone.rows_up_to max_endpoints)
+  in
+  { Report.title; columns = "#endpoints" :: Runs.paper_algorithms; rows; notes = [ sweep_note patterns ] }
+
+let fig5 ?max_endpoints ?patterns ?seed () =
+  sweep "Fig. 5: effective bisection bandwidth, XGFT" Tableone.xgft_graph ?max_endpoints ?patterns ?seed ()
+
+let fig6 ?max_endpoints ?patterns ?seed () =
+  sweep "Fig. 6: effective bisection bandwidth, Kautz" Tableone.kautz_graph ?max_endpoints ?patterns ?seed ()

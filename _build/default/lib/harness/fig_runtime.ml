@@ -1,0 +1,33 @@
+let algorithms = [ "minhop"; "updown"; "lash"; "sssp"; "dfsssp"; "dfsssp-online" ]
+
+let note = "wall-clock; includes virtual-layer assignment where the algorithm has one"
+
+let fig7 ?(max_endpoints = 1024) () =
+  let rows =
+    List.map
+      (fun (r : Tableone.row) ->
+        let g = Tableone.tree_graph r in
+        Report.Int r.Tableone.endpoints :: List.map (fun alg -> Runs.runtime_cell alg g) algorithms)
+      (Tableone.rows_up_to max_endpoints)
+  in
+  {
+    Report.title = "Fig. 7: routing runtime, k-ary n-tree";
+    columns = "#endpoints" :: algorithms;
+    rows;
+    notes = [ note ];
+  }
+
+let fig8 ?(scale = 4) () =
+  let rows =
+    List.map
+      (fun (s : Clusters.system) ->
+        Report.Str (Printf.sprintf "%s(%d)" s.name (Graph.num_terminals s.graph))
+        :: List.map (fun alg -> Runs.runtime_cell alg s.graph) algorithms)
+      (Clusters.all ~scale ())
+  in
+  {
+    Report.title = Printf.sprintf "Fig. 8: routing runtime, real systems (scale 1/%d)" scale;
+    columns = "fabric" :: algorithms;
+    rows;
+    notes = [ note ];
+  }

@@ -1,0 +1,8 @@
+(** Routing-runtime experiments: the paper's Fig. 7 (k-ary n-tree sweep)
+    and Fig. 8 (real systems). Wall-clock seconds to compute the complete
+    routing (tables plus, where applicable, the virtual-layer
+    assignment). *)
+
+val fig7 : ?max_endpoints:int -> unit -> Report.table
+
+val fig8 : ?scale:int -> unit -> Report.table

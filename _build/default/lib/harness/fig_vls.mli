@@ -1,0 +1,33 @@
+(** Virtual-layer-count experiments: the paper's Fig. 9 (random
+    topologies, LASH vs DFSSSP, min/avg/max over seeds as the inter-switch
+    link count varies), Fig. 10 (real systems) and the Section IV
+    heuristic comparison. *)
+
+(** [fig9 ?switches ?switch_radix ?terminals_per_switch ?links ?trials
+    ?seed ()] — defaults are a scaled-down instance (32 switches, radix
+    16, 8 terminals each, 10 seeds); pass [~switches:128 ~switch_radix:32
+    ~terminals_per_switch:16 ~trials:100] for the paper's full setting. *)
+val fig9 :
+  ?switches:int ->
+  ?switch_radix:int ->
+  ?terminals_per_switch:int ->
+  ?links:int list ->
+  ?trials:int ->
+  ?seed:int ->
+  unit ->
+  Report.table
+
+val fig10 : ?scale:int -> unit -> Report.table
+
+(** The Section IV heuristic study: virtual layers needed by each
+    cycle-breaking heuristic on random topologies (paper: 64 switches,
+    1024 endpoints, 128 links). *)
+val heuristics :
+  ?switches:int ->
+  ?switch_radix:int ->
+  ?terminals_per_switch:int ->
+  ?inter_links:int ->
+  ?trials:int ->
+  ?seed:int ->
+  unit ->
+  Report.table

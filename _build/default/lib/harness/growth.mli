@@ -1,0 +1,18 @@
+(** The "machines grow over time" experiment behind the paper's
+    introduction: start from a clean fat tree and apply the kinds of
+    extension real sites make — bolt on a second island with a few trunk
+    cables, attach doubly-homed service switches, splice in a legacy ring
+    segment — and watch which routings survive each stage and at what
+    bandwidth/lane cost. *)
+
+type stage = {
+  label : string;
+  graph : Graph.t;
+}
+
+(** The four-stage growth story (clean tree, +island, +service, +ring). *)
+val stages : unit -> stage list
+
+(** One row per stage: which specialists still route, eBB of the
+    generalists, DFSSSP's lane count. *)
+val sweep : ?patterns:int -> ?seed:int -> unit -> Report.table

@@ -1,0 +1,29 @@
+(** Capacity planning: where would one more cable help most? Evaluates
+    candidate switch-to-switch cables by re-routing the upgraded fabric
+    and re-measuring the workload — the inverse of the fault-tolerance
+    sweep, and a natural consumer of the whole pipeline (generators,
+    routing, congestion model).
+
+    Candidates are derived from the workload's hottest channels (a cable
+    parallel to an overloaded one, or a shortcut between the endpoints of
+    the hottest two-hop funnel), plus a few random controls. *)
+
+type suggestion = {
+  from_switch : string;
+  to_switch : string;
+  ebb_before : float;
+  ebb_after : float;
+  gain : float;  (** relative eBB improvement *)
+}
+
+(** [suggest ?candidates ?patterns ?seed ~algorithm g] returns suggestions
+    sorted by gain (best first). [candidates] caps how many upgrades are
+    tried (default 8); each evaluation is a full re-route. Fails if the
+    base fabric cannot be routed by [algorithm]. *)
+val suggest :
+  ?candidates:int ->
+  ?patterns:int ->
+  ?seed:int ->
+  algorithm:string ->
+  Graph.t ->
+  (suggestion list, string) result

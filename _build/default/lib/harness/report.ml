@@ -1,0 +1,96 @@
+type cell =
+  | Str of string
+  | Int of int
+  | Flt of float
+  | Pct of float
+  | Time of float
+  | Missing
+
+type table = {
+  title : string;
+  columns : string list;
+  rows : cell list list;
+  notes : string list;
+}
+
+let cell_to_string = function
+  | Str s -> s
+  | Int i -> string_of_int i
+  | Flt f -> Printf.sprintf "%.4f" f
+  | Pct f -> Printf.sprintf "%+.1f%%" (100.0 *. f)
+  | Time s ->
+    if s < 1e-3 then Printf.sprintf "%.1fus" (s *. 1e6)
+    else if s < 1.0 then Printf.sprintf "%.2fms" (s *. 1e3)
+    else Printf.sprintf "%.2fs" s
+  | Missing -> "-"
+
+let render t =
+  let header = t.columns in
+  let body = List.map (List.map cell_to_string) t.rows in
+  let ncols = List.length header in
+  let widths = Array.of_list (List.map String.length header) in
+  List.iter
+    (fun row ->
+      List.iteri (fun i s -> if i < ncols && String.length s > widths.(i) then widths.(i) <- String.length s) row)
+    body;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf t.title;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (String.make (String.length t.title) '=');
+  Buffer.add_char buf '\n';
+  let emit_row cells =
+    List.iteri
+      (fun i s ->
+        if i > 0 then Buffer.add_string buf "  ";
+        let pad = if i < ncols then widths.(i) - String.length s else 0 in
+        (* right-align everything but the first column *)
+        if i = 0 then begin
+          Buffer.add_string buf s;
+          Buffer.add_string buf (String.make (max 0 pad) ' ')
+        end
+        else begin
+          Buffer.add_string buf (String.make (max 0 pad) ' ');
+          Buffer.add_string buf s
+        end)
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  emit_row header;
+  Buffer.add_string buf (String.concat "  " (List.map (fun w -> String.make w '-') (Array.to_list widths)));
+  Buffer.add_char buf '\n';
+  List.iter emit_row body;
+  List.iter
+    (fun note ->
+      Buffer.add_string buf "note: ";
+      Buffer.add_string buf note;
+      Buffer.add_char buf '\n')
+    t.notes;
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (String.concat "," (List.map csv_escape t.columns));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (String.concat "," (List.map (fun c -> csv_escape (cell_to_string c)) row));
+      Buffer.add_char buf '\n')
+    t.rows;
+  Buffer.contents buf
+
+let slug title =
+  String.map (fun c -> if (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') then c else '_')
+    (String.lowercase_ascii title)
+
+let save_csv ~dir t =
+  let path = Filename.concat dir (slug t.title ^ ".csv") in
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_csv t));
+  path

@@ -1,0 +1,31 @@
+(** Result tables for the experiment harness: aligned text rendering for
+    the terminal and CSV export, with a [Missing] cell standing for a
+    routing algorithm that refused a fabric (the paper's absent bars). *)
+
+type cell =
+  | Str of string
+  | Int of int
+  | Flt of float  (** rendered %.4f *)
+  | Pct of float  (** fraction rendered as a signed percentage *)
+  | Time of float  (** seconds, rendered adaptively *)
+  | Missing
+
+type table = {
+  title : string;
+  columns : string list;
+  rows : cell list list;
+  notes : string list;
+}
+
+val cell_to_string : cell -> string
+
+(** Render with aligned columns, a title rule, and trailing notes. *)
+val render : table -> string
+
+val print : table -> unit
+
+val to_csv : table -> string
+
+(** [save_csv dir t] writes [<dir>/<slug-of-title>.csv] and returns the
+    path. *)
+val save_csv : dir:string -> table -> string

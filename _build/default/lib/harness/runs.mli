@@ -1,0 +1,30 @@
+(** Shared plumbing for the per-figure experiment drivers: run a named
+    algorithm on a fabric, time it, and turn outcomes into table cells
+    (failures become the paper's missing bars). *)
+
+(** The paper's Fig. 4 algorithm line-up (names for {!Dfsssp.Registry}). *)
+val paper_algorithms : string list
+
+(** [run_named ?coords ?max_layers name g] routes [g], or explains why the
+    algorithm refused. *)
+val run_named : ?coords:Coords.t -> ?max_layers:int -> string -> Graph.t -> (Ftable.t, string) result
+
+(** [timed f] is [(wall-clock seconds, f ())]. *)
+val timed : (unit -> 'a) -> float * 'a
+
+(** [ebb_cell ?coords ~patterns ~seed name g] is the effective bisection
+    bandwidth as a table cell, [Missing] if the algorithm refuses [g]. *)
+val ebb_cell : ?coords:Coords.t -> ?ranks:int array -> patterns:int -> seed:int -> string -> Graph.t -> Report.cell
+
+(** [vl_cell name g] is the number of virtual layers the algorithm needs
+    on [g] ([Missing] on refusal). *)
+val vl_cell : ?coords:Coords.t -> ?max_layers:int -> string -> Graph.t -> Report.cell
+
+(** [runtime_cell name g] is the routing wall-clock time ([Missing] on
+    refusal). *)
+val runtime_cell : ?coords:Coords.t -> string -> Graph.t -> Report.cell
+
+(** [sample_ranks ~rng ~count g] picks [count] distinct terminals uniformly
+    (a scattered job allocation); all terminals if [count] exceeds the
+    fabric. *)
+val sample_ranks : rng:Rng.t -> count:int -> Graph.t -> int array

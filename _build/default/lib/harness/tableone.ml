@@ -1,0 +1,104 @@
+type xgft_params = {
+  ms : int array;
+  ws : int array;
+}
+
+type row = {
+  endpoints : int;
+  xgft : xgft_params;
+  kautz_b : int;
+  kautz_n : int;
+  tree_k : int;
+  tree_n : int;
+}
+
+(* Paper Table I (36-port switches). Nominal endpoint counts are spread
+   round-robin over the leaf switches of each generator. *)
+let rows =
+  [
+    { endpoints = 64; xgft = { ms = [| 6 |]; ws = [| 3 |] }; kautz_b = 2; kautz_n = 2; tree_k = 6; tree_n = 2 };
+    {
+      endpoints = 128;
+      xgft = { ms = [| 10 |]; ws = [| 5 |] };
+      kautz_b = 2;
+      kautz_n = 2;
+      tree_k = 10;
+      tree_n = 2;
+    };
+    {
+      endpoints = 256;
+      xgft = { ms = [| 16 |]; ws = [| 8 |] };
+      kautz_b = 2;
+      kautz_n = 3;
+      tree_k = 16;
+      tree_n = 2;
+    };
+    {
+      endpoints = 512;
+      xgft = { ms = [| 6; 6 |]; ws = [| 3; 3 |] };
+      kautz_b = 3;
+      kautz_n = 3;
+      tree_k = 6;
+      tree_n = 3;
+    };
+    {
+      endpoints = 1024;
+      xgft = { ms = [| 10; 10 |]; ws = [| 5; 5 |] };
+      kautz_b = 3;
+      kautz_n = 3;
+      tree_k = 10;
+      tree_n = 3;
+    };
+    {
+      endpoints = 2048;
+      xgft = { ms = [| 14; 14 |]; ws = [| 7; 7 |] };
+      kautz_b = 4;
+      kautz_n = 3;
+      tree_k = 14;
+      tree_n = 3;
+    };
+    {
+      endpoints = 4096;
+      xgft = { ms = [| 18; 18 |]; ws = [| 9; 9 |] };
+      kautz_b = 6;
+      kautz_n = 3;
+      tree_k = 18;
+      tree_n = 3;
+    };
+  ]
+
+let rows_up_to n = List.filter (fun r -> r.endpoints <= n) rows
+
+let xgft_graph r = Topo_xgft.make ~ms:r.xgft.ms ~ws:r.xgft.ws ~endpoints:r.endpoints
+
+let kautz_graph r = Topo_kautz.make ~b:r.kautz_b ~n:r.kautz_n ~endpoints:r.endpoints
+
+let tree_graph r = Topo_tree.make ~k:r.tree_k ~n:r.tree_n ~endpoints:r.endpoints ()
+
+let describe_xgft p =
+  Printf.sprintf "XGFT(%d;%s;%s)" (Array.length p.ms)
+    (String.concat "," (Array.to_list (Array.map string_of_int p.ms)))
+    (String.concat "," (Array.to_list (Array.map string_of_int p.ws)))
+
+let table () =
+  let rows_cells =
+    List.map
+      (fun r ->
+        let xg = xgft_graph r and kg = kautz_graph r and tg = tree_graph r in
+        [
+          Report.Int r.endpoints;
+          Report.Str (describe_xgft r.xgft);
+          Report.Int (Graph.num_switches xg);
+          Report.Str (Printf.sprintf "Kautz(%d;%d)" r.kautz_b r.kautz_n);
+          Report.Int (Graph.num_switches kg);
+          Report.Str (Printf.sprintf "%d-ary %d-tree" r.tree_k r.tree_n);
+          Report.Int (Graph.num_switches tg);
+        ])
+      rows
+  in
+  {
+    Report.title = "Table I: topology parameters (switch counts are generated sizes)";
+    columns = [ "#endpoints"; "XGFT"; "sw"; "Kautz"; "sw"; "k-ary n-tree"; "sw" ];
+    rows = rows_cells;
+    notes = [ "nominal endpoints are distributed round-robin over leaf switches (36-port switch budget)" ];
+  }

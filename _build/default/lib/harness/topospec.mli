@@ -1,0 +1,29 @@
+(** Parse compact command-line topology specifications into fabrics. Used
+    by the [dfsssp_route] and [experiments] executables and handy in user
+    scripts.
+
+    Grammar (parameters after [:]):
+    - [ring:<switches>[:<terminals_per_switch>]]
+    - [torus:<d1>x<d2>[x...][:<terminals_per_switch>]] (also [mesh:...])
+    - [hypercube:<dim>[:<terminals_per_switch>]]
+    - [tree:<k>,<n>[:<endpoints>]] — k-ary n-tree
+    - [xgft:<m1>,..,<mh>/<w1>,..,<wh>[:<endpoints>]]
+    - [kautz:<b>,<n>[:<endpoints>]]
+    - [dragonfly:<a>,<p>,<h>[:<groups>]]
+    - [hyperx:<d1>x<d2>[x...][:<terminals_per_switch>]]
+    - [random:<switches>,<radix>,<terminals>,<links>[:<seed>]]
+    - [cluster:<name>[:<scale>]] — chic|juropa|odin|ranger|tsubame|deimos
+    - [file:<path>] — the {!Netgraph.Serial} text format
+
+    Grid topologies also return coordinates (enabling DOR). *)
+
+type t = {
+  graph : Graph.t;
+  coords : Coords.t option;
+  description : string;
+}
+
+val parse : string -> (t, string) result
+
+(** One line per supported form, for [--help] texts. *)
+val grammar_lines : string list

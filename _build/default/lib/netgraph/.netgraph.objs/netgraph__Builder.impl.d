@@ -1,0 +1,1 @@
+lib/netgraph/builder.ml: Array Channel Graph Hashtbl List Node Option

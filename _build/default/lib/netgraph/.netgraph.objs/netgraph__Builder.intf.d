@@ -1,0 +1,1 @@
+lib/netgraph/builder.mli: Graph

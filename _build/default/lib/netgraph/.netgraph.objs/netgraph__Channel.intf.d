@@ -1,0 +1,1 @@
+lib/netgraph/channel.mli: Format

@@ -1,0 +1,1 @@
+lib/netgraph/clusters.ml: Array Builder Graph List Printf String

@@ -1,0 +1,1 @@
+lib/netgraph/clusters.mli: Graph

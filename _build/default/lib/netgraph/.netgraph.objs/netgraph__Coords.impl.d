@@ -1,0 +1,1 @@
+lib/netgraph/coords.ml: Array Hashtbl

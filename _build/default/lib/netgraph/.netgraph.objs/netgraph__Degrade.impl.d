@@ -1,0 +1,1 @@
+lib/netgraph/degrade.ml: Array Builder Channel Graph Hashtbl List Node Queue Rng

@@ -1,0 +1,1 @@
+lib/netgraph/degrade.mli: Graph Rng

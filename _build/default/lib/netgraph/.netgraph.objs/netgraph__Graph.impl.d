@@ -1,0 +1,1 @@
+lib/netgraph/graph.ml: Array Channel Format Node Queue

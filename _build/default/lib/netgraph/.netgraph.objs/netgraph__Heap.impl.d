@@ -1,0 +1,1 @@
+lib/netgraph/heap.ml: Array

@@ -1,0 +1,1 @@
+lib/netgraph/node.ml: Format

@@ -1,0 +1,1 @@
+lib/netgraph/parallel.ml: Array Atomic Domain Fun

@@ -1,0 +1,1 @@
+lib/netgraph/path.ml: Array Channel Format Graph Hashtbl List String

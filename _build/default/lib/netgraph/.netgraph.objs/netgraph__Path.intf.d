@@ -1,0 +1,1 @@
+lib/netgraph/path.mli: Format Graph

@@ -1,0 +1,1 @@
+lib/netgraph/rng.ml: Array Hashtbl Int64

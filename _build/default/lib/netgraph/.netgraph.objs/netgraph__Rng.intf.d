@@ -1,0 +1,1 @@
+lib/netgraph/rng.mli:

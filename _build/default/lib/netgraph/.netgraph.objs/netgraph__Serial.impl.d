@@ -1,0 +1,1 @@
+lib/netgraph/serial.ml: Array Buffer Builder Channel Format Fun Graph Hashtbl In_channel List Node Option Printf String

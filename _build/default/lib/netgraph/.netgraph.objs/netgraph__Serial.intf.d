@@ -1,0 +1,1 @@
+lib/netgraph/serial.mli: Graph

@@ -1,0 +1,1 @@
+lib/netgraph/topo_dragonfly.ml: Array Builder Option Printf

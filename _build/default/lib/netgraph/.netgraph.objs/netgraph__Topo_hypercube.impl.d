@@ -1,0 +1,1 @@
+lib/netgraph/topo_hypercube.ml: Array Topo_torus

@@ -1,0 +1,1 @@
+lib/netgraph/topo_hypercube.mli: Coords Graph

@@ -1,0 +1,1 @@
+lib/netgraph/topo_hyperx.ml: Array Builder Coords Printf String

@@ -1,0 +1,1 @@
+lib/netgraph/topo_kautz.ml: Array Builder Hashtbl List Printf String

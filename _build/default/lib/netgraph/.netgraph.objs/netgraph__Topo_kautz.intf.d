@@ -1,0 +1,1 @@
+lib/netgraph/topo_kautz.mli: Graph

@@ -1,0 +1,1 @@
+lib/netgraph/topo_random.ml: Array Builder List Printf Rng

@@ -1,0 +1,1 @@
+lib/netgraph/topo_random.mli: Graph Rng

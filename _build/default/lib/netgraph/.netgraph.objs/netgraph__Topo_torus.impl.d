@@ -1,0 +1,1 @@
+lib/netgraph/topo_torus.ml: Array Builder Coords Printf String

@@ -1,0 +1,1 @@
+lib/netgraph/topo_torus.mli: Coords Graph

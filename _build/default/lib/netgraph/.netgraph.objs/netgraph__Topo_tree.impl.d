@@ -1,0 +1,1 @@
+lib/netgraph/topo_tree.ml: Array Builder Option Printf

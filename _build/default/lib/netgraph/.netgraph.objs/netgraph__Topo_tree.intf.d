@@ -1,0 +1,1 @@
+lib/netgraph/topo_tree.mli: Graph

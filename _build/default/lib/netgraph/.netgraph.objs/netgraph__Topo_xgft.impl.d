@@ -1,0 +1,1 @@
+lib/netgraph/topo_xgft.ml: Array Builder Printf

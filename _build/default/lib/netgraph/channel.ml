@@ -1,0 +1,3 @@
+type t = { id : int; src : int; dst : int }
+
+let pp ppf c = Format.fprintf ppf "c%d:%d->%d" c.id c.src c.dst

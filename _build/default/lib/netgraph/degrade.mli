@@ -1,0 +1,20 @@
+(** Fault injection: derive degraded fabrics by removing cables or
+    switches. The paper's introduction motivates DFSSSP exactly here —
+    real machines lose links, grow sideways, and stop being the clean
+    fat tree or torus their specialized routing assumed; a general
+    deadlock-free routing must keep working on the remainder. *)
+
+(** [remove_cables g ~rng ~count] removes [count] random switch-to-switch
+    cables (both directed channels) while keeping the fabric connected:
+    cables whose removal would disconnect it are skipped (like an operator
+    draining redundant links only). Returns the degraded fabric and the
+    number of cables actually removed — possibly fewer than requested when
+    no further cable is redundant. Terminal attachment cables are never
+    touched. Node ids are preserved; channel ids are re-assigned. *)
+val remove_cables : Graph.t -> rng:Rng.t -> count:int -> Graph.t * int
+
+(** [remove_switch g ~switch] removes one switch, its cables, and the
+    terminals attached to it. Fails if the remainder is disconnected or
+    [switch] is not a switch id. Node and channel ids are re-assigned;
+    nodes keep their names. *)
+val remove_switch : Graph.t -> switch:int -> (Graph.t, string) result

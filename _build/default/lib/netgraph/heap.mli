@@ -1,0 +1,41 @@
+(** Indexed binary min-heap over integer elements [0 .. capacity-1] with
+    integer priorities and decrease-key, as required by Dijkstra's
+    algorithm over dense node-id spaces. *)
+
+type t
+
+(** [create capacity] makes an empty heap able to hold elements
+    [0 .. capacity-1]. *)
+val create : int -> t
+
+(** Number of elements currently in the heap. *)
+val size : t -> int
+
+val is_empty : t -> bool
+
+(** [mem t x] is [true] iff [x] is currently in the heap. *)
+val mem : t -> int -> bool
+
+(** [priority t x] is the current priority of [x].
+    @raise Not_found if [x] is not in the heap. *)
+val priority : t -> int -> int
+
+(** [insert t x p] adds [x] with priority [p].
+    @raise Invalid_argument if [x] is already present or out of range. *)
+val insert : t -> int -> int -> unit
+
+(** [decrease t x p] lowers the priority of [x] to [p].
+    @raise Invalid_argument if [x] is absent or [p] is larger than the
+    current priority. *)
+val decrease : t -> int -> int -> unit
+
+(** [insert_or_decrease t x p] inserts [x], or decreases its key if present
+    and [p] improves on it; a no-op if [p] is not an improvement. *)
+val insert_or_decrease : t -> int -> int -> unit
+
+(** [pop_min t] removes and returns the element with the smallest priority
+    (ties broken arbitrarily but deterministically). *)
+val pop_min : t -> (int * int) option
+
+(** Remove all elements. O(size). *)
+val clear : t -> unit

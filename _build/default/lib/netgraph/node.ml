@@ -1,0 +1,15 @@
+type kind =
+  | Switch
+  | Terminal
+
+type t = { id : int; kind : kind; name : string }
+
+let is_switch n = n.kind = Switch
+
+let is_terminal n = n.kind = Terminal
+
+let kind_to_string = function
+  | Switch -> "switch"
+  | Terminal -> "terminal"
+
+let pp ppf n = Format.fprintf ppf "%s#%d(%s)" n.name n.id (kind_to_string n.kind)

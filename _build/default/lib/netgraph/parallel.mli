@@ -1,0 +1,24 @@
+(** Fork-join helpers over OCaml 5 domains for the embarrassingly parallel
+    parts of the pipeline — effective-bisection-bandwidth sampling
+    (independent random matchings) and per-layer verification (independent
+    channel dependency graphs). Work functions must be pure with respect
+    to shared state: they may read the immutable fabric and routing
+    tables, and must not touch shared mutable structures. *)
+
+(** [Domain.recommended_domain_count], capped at 8 — the fan-out sweet
+    spot for the workloads here. *)
+val recommended_domains : unit -> int
+
+(** [map_array ~domains f a] is [Array.map f a] computed on [domains]
+    domains (contiguous chunks). [domains <= 1], or arrays of fewer than 2
+    elements, run sequentially. The first exception raised by any chunk is
+    re-raised after all domains joined. Ordering of results matches the
+    input regardless of scheduling. *)
+val map_array : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+
+(** [init ~domains n f] is [Array.init n f], parallelised the same way. *)
+val init : ?domains:int -> int -> (int -> 'a) -> 'a array
+
+(** [for_all ~domains f a] evaluates [f] on every element (no
+    short-circuit across chunks) and conjoins. *)
+val for_all : ?domains:int -> ('a -> bool) -> 'a array -> bool

@@ -1,0 +1,61 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+
+let copy t = { state = t.state }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t = { state = bits64 t }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling over the non-negative 62-bit range to stay unbiased. *)
+  let mask = max_int in
+  let rec draw () =
+    let r = Int64.to_int (Int64.logand (bits64 t) 0x3FFFFFFFFFFFFFFFL) in
+    let v = r mod bound in
+    if r - v > mask - bound + 1 then draw () else v
+  in
+  draw ()
+
+let float t bound =
+  let r = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  bound *. (r /. 9007199254740992.0 (* 2^53 *))
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick: empty array";
+  a.(int t (Array.length a))
+
+let sample_distinct t ~n ~bound =
+  if n < 0 || n > bound then invalid_arg "Rng.sample_distinct";
+  (* Floyd's algorithm: O(n) expected, no O(bound) allocation. *)
+  let seen = Hashtbl.create (2 * n) in
+  let out = Array.make n 0 in
+  for i = 0 to n - 1 do
+    let j = bound - n + i in
+    let r = int t (j + 1) in
+    let v = if Hashtbl.mem seen r then j else r in
+    Hashtbl.replace seen v ();
+    out.(i) <- v
+  done;
+  out

@@ -1,0 +1,3 @@
+let make ~dim ~terminals_per_switch =
+  if dim < 1 then invalid_arg "Topo_hypercube.make: dim < 1";
+  Topo_torus.mesh ~dims:(Array.make dim 2) ~terminals_per_switch

@@ -1,0 +1,6 @@
+(** Binary hypercube topologies: a [dim]-cube is a torus with [dim]
+    dimensions of size 2. *)
+
+(** [make ~dim ~terminals_per_switch] builds a [2^dim]-switch hypercube.
+    @raise Invalid_argument if [dim < 1]. *)
+val make : dim:int -> terminals_per_switch:int -> Graph.t * Coords.t

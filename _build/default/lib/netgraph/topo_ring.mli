@@ -1,0 +1,8 @@
+(** Ring topologies (the paper's Fig. 2 deadlock example). *)
+
+(** [make ~switches ~terminals_per_switch] builds a unidirectionally-indexed
+    ring of [switches] switches (each cable bidirectional), with
+    [terminals_per_switch] terminals on each switch.
+    @raise Invalid_argument if [switches < 3] or
+    [terminals_per_switch < 0]. *)
+val make : switches:int -> terminals_per_switch:int -> Graph.t

@@ -1,0 +1,1 @@
+lib/routing/dijkstra.ml: Array Channel Graph Heap

@@ -1,0 +1,1 @@
+lib/routing/dijkstra.mli: Graph

@@ -1,0 +1,1 @@
+lib/routing/dor.ml: Array Channel Coords Format Ftable Graph

@@ -1,0 +1,1 @@
+lib/routing/dor.mli: Coords Ftable Graph

@@ -1,0 +1,1 @@
+lib/routing/ftable.ml: Array Bytes Channel Char Format Graph List Netgraph Path Printf Queue

@@ -1,0 +1,1 @@
+lib/routing/ftable.mli: Format Graph Path

@@ -1,0 +1,1 @@
+lib/routing/ftable_io.ml: Array Buffer Channel Format Ftable Fun Graph Hashtbl In_channel List Node Printf Serial String

@@ -1,0 +1,1 @@
+lib/routing/ftable_io.mli: Ftable

@@ -1,0 +1,1 @@
+lib/routing/ftree.ml: Array Channel Format Ftable Graph List Queue

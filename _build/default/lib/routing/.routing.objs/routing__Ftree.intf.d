@@ -1,0 +1,1 @@
+lib/routing/ftree.mli: Ftable Graph

@@ -1,0 +1,1 @@
+lib/routing/lash.ml: Array Channel Dijkstra Ftable Graph List Online Printf

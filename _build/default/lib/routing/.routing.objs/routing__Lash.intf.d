@@ -1,0 +1,1 @@
+lib/routing/lash.mli: Ftable Graph

@@ -1,0 +1,1 @@
+lib/routing/minhop.ml: Array Channel Dijkstra Ftable Graph Printf

@@ -1,0 +1,1 @@
+lib/routing/minhop.mli: Ftable Graph

@@ -1,0 +1,1 @@
+lib/routing/opensm.ml: Array Buffer Channel Filename Ftable Fun Graph Int64 Node Printf String

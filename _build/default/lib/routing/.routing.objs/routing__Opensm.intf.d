@@ -1,0 +1,1 @@
+lib/routing/opensm.mli: Ftable Graph

@@ -1,0 +1,1 @@
+lib/routing/sssp.ml: Array Channel Dijkstra Ftable Graph Printf

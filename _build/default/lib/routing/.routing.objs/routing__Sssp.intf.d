@@ -1,0 +1,1 @@
+lib/routing/sssp.mli: Ftable Graph

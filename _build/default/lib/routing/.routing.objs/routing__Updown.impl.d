@@ -1,0 +1,1 @@
+lib/routing/updown.ml: Array Channel Ftable Graph Printf Queue

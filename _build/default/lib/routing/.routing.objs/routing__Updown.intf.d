@@ -1,0 +1,1 @@
+lib/routing/updown.mli: Ftable Graph

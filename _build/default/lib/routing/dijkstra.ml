@@ -1,0 +1,46 @@
+type workspace = {
+  dist : int array;
+  via : int array;
+  heap : Heap.t;
+}
+
+let workspace g =
+  let n = Graph.num_nodes g in
+  { dist = Array.make n max_int; via = Array.make n (-1); heap = Heap.create n }
+
+let toward ws g ~weights ~dst =
+  let n = Graph.num_nodes g in
+  Array.fill ws.dist 0 n max_int;
+  Array.fill ws.via 0 n (-1);
+  Heap.clear ws.heap;
+  ws.dist.(dst) <- 0;
+  Heap.insert ws.heap dst 0;
+  let continue = ref true in
+  while !continue do
+    match Heap.pop_min ws.heap with
+    | None -> continue := false
+    | Some (v, dv) ->
+      (* Relax channels entering v: a node u one hop behind v reaches dst
+         through channel (u -> v). *)
+      Array.iter
+        (fun c ->
+          let u = (Graph.channel g c).Channel.src in
+          let w = weights.(c) in
+          let cand = dv + w in
+          if cand < ws.dist.(u) || (cand = ws.dist.(u) && c < ws.via.(u)) then begin
+            if cand < ws.dist.(u) then begin
+              ws.dist.(u) <- cand;
+              Heap.insert_or_decrease ws.heap u cand
+            end;
+            ws.via.(u) <- c
+          end)
+        (Graph.in_channels g v)
+  done;
+  (ws.dist, ws.via)
+
+let unit_weights = ref [||]
+
+let hops_toward ws g ~dst =
+  let m = Graph.num_channels g in
+  if Array.length !unit_weights < m then unit_weights := Array.make m 1;
+  toward ws g ~weights:!unit_weights ~dst

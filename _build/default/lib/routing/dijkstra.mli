@@ -1,0 +1,24 @@
+(** Single-source shortest paths toward a destination, over the reversed
+    graph — the building block of MinHop, SSSP and Up*/Down*. Distances
+    are measured {e to} the destination, and the recorded channel at each
+    node is its first hop toward the destination, which is exactly a
+    forwarding-table column. *)
+
+(** Reusable scratch space; create once per graph and pass to every call
+    to avoid reallocating arrays for each of the |T| destinations. *)
+type workspace
+
+val workspace : Graph.t -> workspace
+
+(** [toward ws g ~weights ~dst] computes, for every node [u], the weighted
+    distance [dist.(u)] from [u] to [dst] and the out-channel [via.(u)]
+    that starts a shortest path (or [-1] at [dst] and at unreachable
+    nodes). [weights.(c)] is the cost of channel [c] (must be
+    non-negative). The returned arrays are owned by the workspace and are
+    overwritten by the next call. Ties are broken toward the
+    lowest-numbered channel, deterministically. *)
+val toward : workspace -> Graph.t -> weights:int array -> dst:int -> int array * int array
+
+(** [hops_toward ws g ~dst] is [toward] with unit weights (plain BFS);
+    same ownership rules. *)
+val hops_toward : workspace -> Graph.t -> dst:int -> int array * int array

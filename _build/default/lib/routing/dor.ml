@@ -1,0 +1,72 @@
+(* Forwarding is a pure function of (current switch coordinate, destination
+   switch coordinate): find the lowest-index dimension where they differ
+   and step toward the destination, wrapping when the torus direction is
+   shorter (ties go the positive way). *)
+
+let step dims wrap cur goal d =
+  let size = dims.(d) in
+  let fwd = (goal - cur + size) mod size in
+  let back = (cur - goal + size) mod size in
+  if wrap.(d) && size > 2 then if fwd <= back then (cur + 1) mod size else (cur + size - 1) mod size
+  else if goal > cur then cur + 1
+  else cur - 1
+
+let route g coords =
+  let ft = Ftable.create g ~algorithm:"dor" in
+  let dims = Coords.dims coords and wrap = Coords.wrap coords in
+  let ndims = Array.length dims in
+  let result = ref (Ok ()) in
+  let fail fmt = Format.kasprintf (fun s -> result := Error s) fmt in
+  (* Find the channel from switch [u] to switch [v] (first cable). *)
+  let channel_between u v =
+    let found = ref (-1) in
+    Array.iter
+      (fun c -> if !found < 0 && (Graph.channel g c).Channel.dst = v then found := c)
+      (Graph.out_channels g u);
+    !found
+  in
+  let switch_of_terminal t = (Graph.channel g (Graph.out_channels g t).(0)).Channel.dst in
+  Array.iter
+    (fun sw -> if not (Coords.mem coords sw) then fail "dor: switch %d has no coordinate" sw)
+    (Graph.switches g);
+  (match !result with
+  | Error _ -> ()
+  | Ok () ->
+    Array.iter
+      (fun dst ->
+        let dst_sw = switch_of_terminal dst in
+        let goal = Coords.get coords dst_sw in
+        Array.iter
+          (fun u ->
+            if u <> dst && !result = Ok () then
+              if Graph.is_terminal g u then
+                Ftable.set_next ft ~node:u ~dst ~channel:(Graph.out_channels g u).(0)
+              else if u = dst_sw then begin
+                (* Deliver to the attached terminal. *)
+                let c = channel_between u dst in
+                if c < 0 then fail "dor: lost terminal channel at %d" u
+                else Ftable.set_next ft ~node:u ~dst ~channel:c
+              end
+              else begin
+                let cur = Coords.get coords u in
+                let rec first_diff d =
+                  if d >= ndims then -1 else if cur.(d) <> goal.(d) then d else first_diff (d + 1)
+                in
+                let d = first_diff 0 in
+                if d < 0 then fail "dor: distinct switches share coordinate (%d, %d)" u dst_sw
+                else begin
+                  let next_coord = Array.copy cur in
+                  next_coord.(d) <- step dims wrap cur.(d) goal.(d) d;
+                  match Coords.node_at coords next_coord with
+                  | exception Not_found -> fail "dor: no switch at neighbour coordinate from %d" u
+                  | v ->
+                    let c = channel_between u v in
+                    if c < 0 then fail "dor: missing grid channel %d -> %d" u v
+                    else Ftable.set_next ft ~node:u ~dst ~channel:c
+                end
+              end)
+          (Array.init (Graph.num_nodes g) (fun i -> i)))
+      (Graph.terminals g));
+  match !result with
+  | Error _ as e -> e
+  | Ok () -> Ok ft

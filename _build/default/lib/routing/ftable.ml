@@ -1,0 +1,154 @@
+open Netgraph
+
+type t = {
+  graph : Graph.t;
+  algorithm : string;
+  next : int array array; (* node id -> terminal index -> channel id or -1 *)
+  mutable layers : Bytes.t array option; (* terminal index -> terminal index -> layer *)
+  mutable num_layers : int;
+  index_of : int array; (* node id -> terminal index or -1 *)
+}
+
+let create graph ~algorithm =
+  let n = Graph.num_nodes graph in
+  let terminals = Graph.terminals graph in
+  let nt = Array.length terminals in
+  let index_of = Array.make n (-1) in
+  Array.iteri (fun i tid -> index_of.(tid) <- i) terminals;
+  { graph; algorithm; next = Array.init n (fun _ -> Array.make nt (-1)); layers = None; num_layers = 1; index_of }
+
+let graph t = t.graph
+
+let algorithm t = t.algorithm
+
+let dst_index t node =
+  let i = t.index_of.(node) in
+  if i < 0 then invalid_arg "Ftable.dst_index: not a terminal";
+  i
+
+let set_next t ~node ~dst ~channel =
+  let c = Graph.channel t.graph channel in
+  if c.Channel.src <> node then invalid_arg "Ftable.set_next: channel does not leave node";
+  t.next.(node).(dst_index t dst) <- channel
+
+let next t ~node ~dst =
+  let c = t.next.(node).(dst_index t dst) in
+  if c < 0 then None else Some c
+
+let path t ~src ~dst =
+  if src = dst then Some [||]
+  else begin
+    let di = dst_index t dst in
+    let limit = Graph.num_nodes t.graph in
+    let rec follow node acc steps =
+      if node = dst then Some (Array.of_list (List.rev acc))
+      else if steps > limit then None (* forwarding loop *)
+      else
+        let c = t.next.(node).(di) in
+        if c < 0 then None
+        else follow (Graph.channel t.graph c).Channel.dst (c :: acc) (steps + 1)
+    in
+    follow src [] 0
+  end
+
+let iter_pairs t f =
+  let terminals = Graph.terminals t.graph in
+  Array.iter
+    (fun src ->
+      Array.iter
+        (fun dst ->
+          if src <> dst then
+            match path t ~src ~dst with
+            | Some p -> f ~src ~dst p
+            | None -> failwith (Printf.sprintf "Ftable.iter_pairs: no route %d -> %d" src dst))
+        terminals)
+    terminals
+
+let ensure_layers t =
+  match t.layers with
+  | Some l -> l
+  | None ->
+    let nt = Graph.num_terminals t.graph in
+    let l = Array.init nt (fun _ -> Bytes.make (max nt 1) '\000') in
+    t.layers <- Some l;
+    l
+
+let layer t ~src ~dst =
+  match t.layers with
+  | None -> 0
+  | Some l -> Char.code (Bytes.get l.(dst_index t src) (dst_index t dst))
+
+let set_layer t ~src ~dst vl =
+  if vl < 0 || vl > 255 then invalid_arg "Ftable.set_layer: layer out of range";
+  let l = ensure_layers t in
+  Bytes.set l.(dst_index t src) (dst_index t dst) (Char.chr vl)
+
+let num_layers t = t.num_layers
+
+let set_num_layers t n =
+  if n < 1 then invalid_arg "Ftable.set_num_layers";
+  t.num_layers <- n
+
+type stats = {
+  pairs : int;
+  max_hops : int;
+  avg_hops : float;
+  minimal : bool;
+}
+
+let validate t =
+  let g = t.graph in
+  let terminals = Graph.terminals g in
+  let pairs = ref 0 and max_hops = ref 0 and total_hops = ref 0 and minimal = ref true in
+  let failure = ref None in
+  Array.iter
+    (fun dst ->
+      if !failure = None then begin
+        (* Hop distances for minimality are measured against BFS on the
+           reversed graph (distance from every node TO dst). *)
+        let dist = Array.make (Graph.num_nodes g) max_int in
+        let queue = Queue.create () in
+        dist.(dst) <- 0;
+        Queue.add dst queue;
+        while not (Queue.is_empty queue) do
+          let v = Queue.take queue in
+          Array.iter
+            (fun c ->
+              let u = (Graph.channel g c).Channel.src in
+              if dist.(u) = max_int then begin
+                dist.(u) <- dist.(v) + 1;
+                Queue.add u queue
+              end)
+            (Graph.in_channels g v)
+        done;
+        Array.iter
+          (fun src ->
+            if src <> dst && !failure = None then
+              match path t ~src ~dst with
+              | None -> failure := Some (Printf.sprintf "no loop-free route %d -> %d" src dst)
+              | Some p ->
+                if not (Path.is_consistent g p) then
+                  failure := Some (Printf.sprintf "inconsistent path %d -> %d" src dst)
+                else begin
+                  let hops = Path.length p in
+                  incr pairs;
+                  total_hops := !total_hops + hops;
+                  if hops > !max_hops then max_hops := hops;
+                  if hops > dist.(src) then minimal := false
+                end)
+          terminals
+      end)
+    terminals;
+  match !failure with
+  | Some msg -> Error msg
+  | None ->
+    Ok
+      {
+        pairs = !pairs;
+        max_hops = !max_hops;
+        avg_hops = (if !pairs = 0 then 0.0 else float_of_int !total_hops /. float_of_int !pairs);
+        minimal = !minimal;
+      }
+
+let pp_stats ppf s =
+  Format.fprintf ppf "pairs=%d max_hops=%d avg_hops=%.2f minimal=%b" s.pairs s.max_hops s.avg_hops s.minimal

@@ -1,0 +1,67 @@
+(** Destination-based forwarding tables — the analogue of InfiniBand linear
+    forwarding tables (LFTs) that OpenSM programs into every switch — plus
+    the per-route virtual-layer assignment computed by deadlock-free
+    algorithms (the analogue of the SL/VL mapping).
+
+    Destinations are terminals; [next t ~node ~dst] is the channel a packet
+    standing at [node] takes toward terminal [dst]. Routes are therefore
+    trees per destination, exactly as in the paper's oblivious
+    routing-function model [R : C x N -> C]. *)
+
+type t
+
+(** [create g ~algorithm] makes an empty table (no routes, 1 layer). *)
+val create : Graph.t -> algorithm:string -> t
+
+val graph : t -> Graph.t
+val algorithm : t -> string
+
+(** [dst_index t node] is the dense terminal index of a terminal node id.
+    @raise Invalid_argument if [node] is not a terminal. *)
+val dst_index : t -> int -> int
+
+(** [set_next t ~node ~dst ~channel] routes traffic for terminal [dst]
+    standing at [node] into [channel].
+    @raise Invalid_argument if [channel] does not leave [node] or [dst] is
+    not a terminal. *)
+val set_next : t -> node:int -> dst:int -> channel:int -> unit
+
+(** [next t ~node ~dst] is the forwarding entry, or [None] if unset. *)
+val next : t -> node:int -> dst:int -> int option
+
+(** [path t ~src ~dst] follows the table from terminal [src] to terminal
+    [dst]. [None] if an entry is missing or a forwarding loop is hit.
+    [Some [||]] iff [src = dst]. *)
+val path : t -> src:int -> dst:int -> Path.t option
+
+(** [iter_pairs t f] calls [f ~src ~dst path] for every ordered pair of
+    distinct terminals, in a deterministic order.
+    @raise Failure if some pair has no path. *)
+val iter_pairs : t -> (src:int -> dst:int -> Path.t -> unit) -> unit
+
+(** {1 Virtual layers} *)
+
+(** Layer of the route [src -> dst] (terminal node ids); 0 if never set. *)
+val layer : t -> src:int -> dst:int -> int
+
+val set_layer : t -> src:int -> dst:int -> int -> unit
+
+(** Number of virtual layers the assignment uses ([>= 1]). *)
+val num_layers : t -> int
+
+val set_num_layers : t -> int -> unit
+
+(** {1 Validation} *)
+
+type stats = {
+  pairs : int;  (** routed ordered pairs *)
+  max_hops : int;
+  avg_hops : float;
+  minimal : bool;  (** every route has min-hop length *)
+}
+
+(** Check that every ordered terminal pair has a loop-free path and collect
+    statistics. [Error msg] names the first offending pair. *)
+val validate : t -> (stats, string) result
+
+val pp_stats : Format.formatter -> stats -> unit

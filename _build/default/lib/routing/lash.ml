@@ -1,0 +1,59 @@
+(* LASH computes its own minimum-hop routes with no port balancing: the
+   original optimizes layer usage, not link load — which is why its
+   bandwidth trails MinHop/SSSP on fat trees (paper Fig. 5) while staying
+   competitive on Kautz graphs. Min-hop ties are broken by a
+   per-destination hash, mimicking OpenSM's discovery-order-dependent BFS
+   trees: destinations do not share one canonical tree, so dependencies
+   are diverse (this diversity is what drives LASH's layer demand on
+   sparse irregular fabrics, Fig. 9). *)
+let tie_break c dst = ((c * 0x9E3779B1) lxor (dst * 0x85EBCA77)) land max_int
+
+let plain_minhop g =
+  let n = Graph.num_nodes g in
+  let ft = Ftable.create g ~algorithm:"lash" in
+  let ws = Dijkstra.workspace g in
+  let result = ref (Ok ()) in
+  Array.iter
+    (fun dst ->
+      match !result with
+      | Error _ -> ()
+      | Ok () ->
+        let dist, _ = Dijkstra.hops_toward ws g ~dst in
+        if Array.exists (fun d -> d = max_int) dist then
+          result := Error (Printf.sprintf "node unreachable toward %d" dst)
+        else
+          for u = 0 to n - 1 do
+            if u <> dst then begin
+              let best = ref (-1) in
+              Array.iter
+                (fun c ->
+                  let v = (Graph.channel g c).Channel.dst in
+                  if dist.(v) + 1 = dist.(u) && (!best < 0 || tie_break c dst < tie_break !best dst)
+                  then best := c)
+                (Graph.out_channels g u);
+              if !best >= 0 then Ftable.set_next ft ~node:u ~dst ~channel:!best
+            end
+          done)
+    (Graph.terminals g);
+  match !result with
+  | Error msg -> Error msg
+  | Ok () -> Ok ft
+
+let route ?(max_layers = 16) g =
+  match plain_minhop g with
+  | Error msg -> Error ("lash: " ^ msg)
+  | Ok ft ->
+    let paths = ref [] and pairs = ref [] in
+    Ftable.iter_pairs ft (fun ~src ~dst p ->
+        paths := p :: !paths;
+        pairs := (src, dst) :: !pairs);
+    let paths = Array.of_list (List.rev !paths) in
+    let pairs = Array.of_list (List.rev !pairs) in
+    (match Online.assign g ~paths ~max_layers with
+    | Error msg -> Error ("lash: " ^ msg)
+    | Ok outcome ->
+      Array.iteri
+        (fun i (src, dst) -> Ftable.set_layer ft ~src ~dst outcome.Online.layer_of_path.(i))
+        pairs;
+      Ftable.set_num_layers ft outcome.Online.layers_used;
+      Ok ft)

@@ -1,0 +1,42 @@
+(* Per destination: BFS hop distances toward dst, then every node picks
+   the min-hop channel with the fewest forwarding-table entries so far.
+   The load counter is per LFT entry — NOT per end-to-end route — which
+   is exactly OpenSM's port balancing and the reason MinHop's balance is
+   only local: a table entry on a trunk carries far more traffic than one
+   on a leaf link, but both count the same (the gap SSSP closes by
+   weighting channels with actual route counts). *)
+
+let route g =
+  let n = Graph.num_nodes g in
+  let ft = Ftable.create g ~algorithm:"minhop" in
+  let ws = Dijkstra.workspace g in
+  let load = Array.make (Graph.num_channels g) 0 in
+  let result = ref (Ok ()) in
+  Array.iter
+    (fun dst ->
+      match !result with
+      | Error _ -> ()
+      | Ok () ->
+        let dist, _ = Dijkstra.hops_toward ws g ~dst in
+        if Array.exists (fun d -> d = max_int) dist then
+          result := Error (Printf.sprintf "minhop: node unreachable toward %d" dst)
+        else
+          for u = 0 to n - 1 do
+            if u <> dst then begin
+              let best = ref (-1) in
+              Array.iter
+                (fun c ->
+                  let v = (Graph.channel g c).Channel.dst in
+                  if dist.(v) + 1 = dist.(u) && (!best < 0 || load.(c) < load.(!best)) then best := c)
+                (Graph.out_channels g u);
+              match !best with
+              | -1 -> result := Error (Printf.sprintf "minhop: no min-hop channel at %d toward %d" u dst)
+              | c ->
+                Ftable.set_next ft ~node:u ~dst ~channel:c;
+                load.(c) <- load.(c) + 1
+            end
+          done)
+    (Graph.terminals g);
+  match !result with
+  | Error _ as e -> e
+  | Ok () -> Ok ft

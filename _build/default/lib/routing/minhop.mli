@@ -1,0 +1,9 @@
+(** MinHop routing, modelled on OpenSM's default algorithm: minimum-hop
+    forwarding with port balancing — among the min-hop out-channels toward
+    a destination, each node picks the channel with the least accumulated
+    route load. Not deadlock-free in general (the paper's reference
+    algorithm). *)
+
+(** [route g] computes forwarding entries for every (node, terminal)
+    pair. Fails on disconnected fabrics. *)
+val route : Graph.t -> (Ftable.t, string) result

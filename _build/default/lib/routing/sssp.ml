@@ -1,0 +1,54 @@
+let initial_weights g =
+  let n = Graph.num_nodes g in
+  Array.make (Graph.num_channels g) (n * n)
+
+let route_plane g ~weights =
+  let n = Graph.num_nodes g in
+  if Array.length weights <> Graph.num_channels g then invalid_arg "Sssp.route_plane: weights size";
+  Array.iter (fun w -> if w < 1 then invalid_arg "Sssp.route_plane: weight < 1") weights;
+  let ft = Ftable.create g ~algorithm:"sssp" in
+  let ws = Dijkstra.workspace g in
+  let order = Array.init n (fun i -> i) in
+  let flow = Array.make n 0 in
+  let result = ref (Ok ()) in
+  Array.iter
+    (fun dst ->
+      match !result with
+      | Error _ -> ()
+      | Ok () ->
+        let dist, via = Dijkstra.toward ws g ~weights ~dst in
+        if Array.exists (fun d -> d = max_int) dist then
+          result := Error (Printf.sprintf "sssp: node unreachable toward %d" dst)
+        else begin
+          Array.iteri
+            (fun u c -> if u <> dst && c >= 0 then Ftable.set_next ft ~node:u ~dst ~channel:c)
+            via;
+          (* Weight update: add to each channel the number of terminal
+             routes to [dst] crossing it, accumulating flows far-to-near
+             along the shortest-path tree. *)
+          Array.sort (fun a b -> compare dist.(b) dist.(a)) order;
+          Array.iteri (fun v _ -> flow.(v) <- if Graph.is_terminal g v && v <> dst then 1 else 0) flow;
+          Array.iter
+            (fun u ->
+              if u <> dst && flow.(u) > 0 then begin
+                let c = via.(u) in
+                weights.(c) <- weights.(c) + flow.(u);
+                let v = (Graph.channel g c).Channel.dst in
+                flow.(v) <- flow.(v) + flow.(u)
+              end)
+            order
+        end)
+    (Graph.terminals g);
+  match !result with
+  | Error _ as e -> e
+  | Ok () -> Ok ft
+
+let route ?initial_weight g =
+  let weights =
+    match initial_weight with
+    | None -> initial_weights g
+    | Some w ->
+      if w < 1 then invalid_arg "Sssp.route: initial_weight < 1";
+      Array.make (Graph.num_channels g) w
+  in
+  route_plane g ~weights

@@ -1,0 +1,32 @@
+(** Single-source-shortest-path routing (Hoefler et al., the paper's
+    Algorithm 1): iterate a weighted Dijkstra per destination and, after
+    each destination is routed, increase every used channel's weight by
+    the number of routes crossing it — globally balancing route load.
+
+    The initial channel weight is [|V|^2]: accumulated increments stay
+    below [|V|^2], so a two-channel detour can never undercut a direct
+    channel and all routes keep minimal hop count (paper Section II).
+
+    SSSP is {e not} deadlock-free in general — see {!Dfsssp} for the
+    virtual-layer extension. *)
+
+(** [route ?initial_weight g] fails only on disconnected fabrics.
+
+    [initial_weight] overrides the [|V|^2] base weight — the paper's
+    Fig. 1 shows why the default matters: with [~initial_weight:1] the
+    accumulated increments can make two lightly-loaded channels cheaper
+    than one loaded channel and the router takes latency-increasing
+    detours. Exposed for the ablation bench; leave it alone otherwise. *)
+val route : ?initial_weight:int -> Graph.t -> (Ftable.t, string) result
+
+(** [route_plane g ~weights] runs one SSSP pass over an {e existing}
+    weight state, updating [weights] in place with the new routes' load.
+    Successive calls over the same array produce diverse forwarding planes
+    — later planes avoid channels earlier planes loaded — which is exactly
+    how OpenSM's SSSP routes the extra LIDs of an LMC > 0 subnet (see
+    {!Dfsssp.Multipath}). [weights] must have one entry per channel, all
+    >= 1. *)
+val route_plane : Graph.t -> weights:int array -> (Ftable.t, string) result
+
+(** Fresh weight state for {!route_plane}: every channel at [|V|^2]. *)
+val initial_weights : Graph.t -> int array

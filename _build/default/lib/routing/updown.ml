@@ -1,0 +1,141 @@
+(* Channel (u -> v) is "up" iff (rank v, v) < (rank u, u) lexicographically,
+   where rank is the BFS depth from the chosen root. The strict total order
+   makes the up-relation acyclic.
+
+   Forwarding tables must stay legal end-to-end: if a node's entry takes a
+   down channel, the next node's entry must also take a down channel.
+   Construction per destination (DESIGN.md):
+   1. d_down: BFS from dst over reversed down channels (all-down routes).
+   2. d_up(u) = min over up channels (u -> v) of 1 + min(d_up v, d_down v),
+      computed in increasing (rank, id) order (up strictly decreases it).
+   3. Nodes preferring down are closed transitively along their down
+      parents (forcing keeps legality; only lengths can grow). *)
+
+let pick_root g =
+  let switches = Graph.switches g in
+  if Array.length switches = 0 then Error "updown: no switches"
+  else begin
+    let best = ref (-1) and best_ecc = ref max_int in
+    Array.iter
+      (fun s ->
+        let dist = Graph.bfs_dist g s in
+        let ecc = Array.fold_left (fun acc d -> if d = max_int then max_int else max acc d) 0 dist in
+        if ecc < !best_ecc then begin
+          best_ecc := ecc;
+          best := s
+        end)
+      switches;
+    if !best_ecc = max_int then Error "updown: disconnected fabric" else Ok !best
+  end
+
+let rank_and_orientation g root =
+  let rank = Graph.bfs_dist g root in
+  let key v = (rank.(v), v) in
+  let up = Array.map (fun (c : Channel.t) -> key c.dst < key c.src) (Graph.channels g) in
+  (rank, up)
+
+let orientation g =
+  match pick_root g with
+  | Error _ as e -> e
+  | Ok root ->
+    let _, up = rank_and_orientation g root in
+    Ok (root, up)
+
+let route g =
+  match pick_root g with
+  | Error msg -> Error msg
+  | Ok root ->
+    let n = Graph.num_nodes g in
+    let rank, up = rank_and_orientation g root in
+    let ft = Ftable.create g ~algorithm:"updown" in
+    (* Nodes in increasing (rank, id): up channels point strictly earlier. *)
+    let order = Array.init n (fun i -> i) in
+    Array.sort (fun a b -> compare (rank.(a), a) (rank.(b), b)) order;
+    let d_down = Array.make n max_int in
+    let down_via = Array.make n (-1) in
+    let d_up = Array.make n max_int in
+    let up_via = Array.make n (-1) in
+    let load = Array.make (Graph.num_channels g) 0 in
+    let result = ref (Ok ()) in
+    let queue = Queue.create () in
+    Array.iter
+      (fun dst ->
+        match !result with
+        | Error _ -> ()
+        | Ok () ->
+          Array.fill d_down 0 n max_int;
+          Array.fill down_via 0 n (-1);
+          Array.fill d_up 0 n max_int;
+          Array.fill up_via 0 n (-1);
+          (* 1. All-down distances: BFS from dst across reversed down
+             channels. *)
+          d_down.(dst) <- 0;
+          Queue.clear queue;
+          Queue.add dst queue;
+          while not (Queue.is_empty queue) do
+            let v = Queue.take queue in
+            Array.iter
+              (fun c ->
+                let u = (Graph.channel g c).Channel.src in
+                if (not up.(c)) && d_down.(u) = max_int then begin
+                  d_down.(u) <- d_down.(v) + 1;
+                  down_via.(u) <- c;
+                  Queue.add u queue
+                end)
+              (Graph.in_channels g v)
+          done;
+          (* 2. Up continuations, bottom-up in the (rank, id) order. *)
+          Array.iter
+            (fun u ->
+              if u <> dst then
+                Array.iter
+                  (fun c ->
+                    if up.(c) then begin
+                      let v = (Graph.channel g c).Channel.dst in
+                      let dv = min d_up.(v) d_down.(v) in
+                      if dv < max_int then begin
+                        let cand = dv + 1 in
+                        if
+                          cand < d_up.(u)
+                          || (cand = d_up.(u) && up_via.(u) >= 0 && load.(c) < load.(up_via.(u)))
+                        then begin
+                          d_up.(u) <- cand;
+                          up_via.(u) <- c
+                        end
+                      end
+                    end)
+                  (Graph.out_channels g u))
+            order;
+          (* 3. Mode selection with transitive down-closure. *)
+          let down_mode = Array.make n false in
+          Array.iter (fun u -> if u <> dst then down_mode.(u) <- d_down.(u) <= d_up.(u)) order;
+          (* Force every node on a down-mode node's parent chain into down
+             mode as well; chains of already-forced nodes are walked by
+             their own outer iteration. *)
+          let rec force u =
+            if u <> dst && not down_mode.(u) then begin
+              down_mode.(u) <- true;
+              force (Graph.channel g down_via.(u)).Channel.dst
+            end
+          in
+          Array.iter
+            (fun u ->
+              if u <> dst && down_mode.(u) && down_via.(u) >= 0 then
+                force (Graph.channel g down_via.(u)).Channel.dst)
+            order;
+          (* 4. Emit entries. *)
+          Array.iter
+            (fun u ->
+              if u <> dst && !result = Ok () then begin
+                let c = if down_mode.(u) then down_via.(u) else up_via.(u) in
+                if c < 0 then result := Error (Printf.sprintf "updown: node %d cannot reach %d" u dst)
+                else begin
+                  Ftable.set_next ft ~node:u ~dst ~channel:c;
+                  load.(c) <- load.(c) + 1
+                end
+              end)
+            order)
+      (Graph.terminals g);
+    (match !result with
+    | Error _ as e -> e
+    | Ok () -> Ok ft)

@@ -1,0 +1,16 @@
+(** Up*/Down* routing: a BFS spanning tree orients every channel "up"
+    (toward the root) or "down"; legal routes climb zero or more up
+    channels and then descend zero or more down channels, which provably
+    leaves the channel dependency graph acyclic — deadlock-free with a
+    single virtual layer, at the price of longer-than-minimal routes and
+    congestion near the root (the classic trade-off the paper measures). *)
+
+(** [route g] picks the root switch minimizing eccentricity and builds
+    legal, consistent, near-minimal forwarding tables (see DESIGN.md for
+    the down-mode consistency rule). Fails on disconnected fabrics. *)
+val route : Graph.t -> (Ftable.t, string) result
+
+(** Expose the orientation for tests: [up_channels g] maps channel id to
+    [true] iff the channel is an up channel for the root [route] would
+    pick. *)
+val orientation : Graph.t -> (int * bool array, string) result

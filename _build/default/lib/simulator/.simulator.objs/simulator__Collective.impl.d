@@ -1,0 +1,1 @@
+lib/simulator/collective.ml: Array Congestion List Patterns Printf

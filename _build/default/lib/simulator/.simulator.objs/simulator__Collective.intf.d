@@ -1,0 +1,1 @@
+lib/simulator/collective.mli: Ftable Patterns

@@ -1,0 +1,1 @@
+lib/simulator/congestion.ml: Array Ftable Hashtbl List Metrics Netgraph Option Patterns Printf

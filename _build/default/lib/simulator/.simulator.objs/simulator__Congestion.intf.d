@@ -1,0 +1,1 @@
+lib/simulator/congestion.mli: Ftable Metrics Netgraph Patterns

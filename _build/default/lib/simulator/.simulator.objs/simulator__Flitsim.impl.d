@@ -1,0 +1,1 @@
+lib/simulator/flitsim.ml: Array Format Ftable Netgraph Option Printf Queue

@@ -1,0 +1,1 @@
+lib/simulator/flitsim.mli: Format Ftable

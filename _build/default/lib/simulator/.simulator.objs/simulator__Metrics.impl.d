@@ -1,0 +1,1 @@
+lib/simulator/metrics.ml: Array Format

@@ -1,0 +1,1 @@
+lib/simulator/netsim.ml: Array Eventq Format Ftable Netgraph Option Printf Queue

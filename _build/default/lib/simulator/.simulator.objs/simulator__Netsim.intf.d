@@ -1,0 +1,1 @@
+lib/simulator/netsim.mli: Format Ftable

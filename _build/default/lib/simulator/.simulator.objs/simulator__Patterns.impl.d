@@ -1,0 +1,1 @@
+lib/simulator/patterns.ml: Array Hashtbl List Netgraph Printf

@@ -1,0 +1,1 @@
+lib/simulator/patterns.mli: Netgraph

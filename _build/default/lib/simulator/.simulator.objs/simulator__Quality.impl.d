@@ -1,0 +1,1 @@
+lib/simulator/quality.ml: Array Format Ftable Metrics Netgraph

@@ -1,0 +1,1 @@
+lib/simulator/quality.mli: Format Ftable

@@ -1,0 +1,59 @@
+type schedule = {
+  name : string;
+  rounds : Patterns.flow array list;
+  bytes_per_round : int -> float -> float;
+}
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let all_to_all_pairwise ranks =
+  let n = Array.length ranks in
+  let round k =
+    if is_power_of_two n then
+      Array.init n (fun i -> (ranks.(i), ranks.(i lxor k)))
+      |> Array.to_list
+      |> List.filter (fun (a, b) -> a <> b)
+      |> Array.of_list
+    else Patterns.ring_shift ~by:k ranks
+  in
+  let rounds = List.init (max 0 (n - 1)) (fun k -> round (k + 1)) in
+  { name = "all-to-all (pairwise exchange)"; rounds; bytes_per_round = (fun _ m -> m) }
+
+let allreduce_recursive_doubling ranks =
+  let n = Array.length ranks in
+  if not (is_power_of_two n) then
+    Error (Printf.sprintf "allreduce_recursive_doubling: %d ranks not a power of two" n)
+  else begin
+    let rec log2 acc v = if v <= 1 then acc else log2 (acc + 1) (v / 2) in
+    let rounds =
+      List.init (log2 0 n) (fun r ->
+          let d = 1 lsl r in
+          Array.init n (fun i -> (ranks.(i), ranks.(i lxor d))))
+    in
+    Ok { name = "allreduce (recursive doubling)"; rounds; bytes_per_round = (fun _ m -> m) }
+  end
+
+let allreduce_ring ranks =
+  let n = Array.length ranks in
+  let shift = Patterns.ring_shift ~by:1 ranks in
+  let rounds = List.init (max 0 (2 * (n - 1))) (fun _ -> shift) in
+  {
+    name = "allreduce (ring)";
+    rounds;
+    bytes_per_round = (fun _ m -> if n = 0 then 0.0 else m /. float_of_int n);
+  }
+
+let completion_time ft schedule ~message_bytes ~bandwidth =
+  if message_bytes < 0.0 || bandwidth <= 0.0 then invalid_arg "Collective.completion_time";
+  List.fold_left
+    (fun (acc, round) flows ->
+      let t =
+        if Array.length flows = 0 then 0.0
+        else begin
+          let r = Congestion.evaluate ft ~flows in
+          schedule.bytes_per_round round message_bytes *. r.Congestion.completion /. bandwidth
+        end
+      in
+      (acc +. t, round + 1))
+    (0.0, 0) schedule.rounds
+  |> fst

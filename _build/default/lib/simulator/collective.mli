@@ -1,0 +1,40 @@
+(** Collective-operation schedules: an MPI collective is not one flat
+    traffic blast but a sequence of rounds, each a (near-)permutation,
+    synchronized by the algorithm's data dependencies. Modelling the
+    rounds matters for routing comparisons — every round is a permutation
+    whose bottleneck the routing's balance determines, and round times
+    add up (the paper's Fig. 13 all-to-all microbenchmark is exactly
+    such a schedule on the wire).
+
+    Time model per round: [bytes * max-bottleneck-load / bandwidth], the
+    same static model as {!Congestion.completion_time}; rounds are
+    barriers. *)
+
+type schedule = {
+  name : string;
+  rounds : Patterns.flow array list;  (** each round's (src, dst) pairs *)
+  bytes_per_round : int -> float -> float;
+      (** [bytes_per_round round message_bytes] — how much each pair ships
+          in the given round, as a function of the caller's nominal
+          per-rank message size (algorithms differ: pairwise all-to-all
+          ships [m] per round, recursive doubling ships the full vector
+          every round, ring allreduce ships [m/n] chunks). *)
+}
+
+(** Pairwise-exchange all-to-all (the classic large-message MPI_Alltoall):
+    round k sends rank i's block to rank (i XOR k) for power-of-two rank
+    counts, else to rank (i + k) mod n; n-1 rounds, [m] bytes per pair
+    per round. *)
+val all_to_all_pairwise : int array -> schedule
+
+(** Recursive-doubling allreduce: log2 n rounds of butterfly exchanges,
+    full vector each round. Requires a power-of-two rank count. *)
+val allreduce_recursive_doubling : int array -> (schedule, string) result
+
+(** Ring allreduce (reduce-scatter + allgather): 2(n-1) rounds of
+    neighbour shifts, [m/n] bytes per round. *)
+val allreduce_ring : int array -> schedule
+
+(** [completion_time ft schedule ~message_bytes ~bandwidth] sums the
+    static per-round times over the schedule. *)
+val completion_time : Ftable.t -> schedule -> message_bytes:float -> bandwidth:float -> float

@@ -1,0 +1,50 @@
+(** Packet-level network simulator with per-virtual-lane buffers and
+    credit-style flow control — the executable counterpart of the paper's
+    deadlock argument (Section III, Fig. 2): with finite buffers, a
+    routing whose channel dependency graph is cyclic can wedge the whole
+    fabric, and the simulator reports exactly that state; a DFSSSP layer
+    assignment on the same fabric always drains.
+
+    Model (deliberately simple, deterministic, and conservative):
+    - every directed channel owns [buffer_slots] packet slots per virtual
+      lane (the receiving buffer of the link);
+    - a cycle moves each buffer's head packet into its next channel's
+      buffer if a slot was free at the start of the cycle and the target
+      channel has not already accepted a packet this cycle (link
+      bandwidth: one packet per channel per cycle);
+    - sources inject under the same rules; terminals consume instantly;
+    - arbitration is round-robin, rotated every cycle for fairness.
+
+    Under start-of-cycle snapshots, blocking is monotone within a cycle,
+    so one full sweep without any injection, movement, or consumption
+    while packets remain in flight {e proves} a permanent deadlock. *)
+
+type config = {
+  buffer_slots : int;  (** per (channel, virtual lane); default 2 *)
+  num_vls : int;  (** virtual lanes; default 8, the hardware ceiling *)
+  max_cycles : int;  (** safety stop; default 1_000_000 *)
+}
+
+val default_config : config
+
+type latency = {
+  delivered : int;
+  min_cycles : int;  (** fastest packet, injection to consumption *)
+  max_cycles : int;
+  mean_cycles : float;
+}
+
+type outcome =
+  | Delivered of { cycles : int; delivered : int; latency : latency }
+  | Deadlocked of { cycles : int; delivered : int; in_flight : int }
+      (** zero progress with [in_flight] packets wedged in buffers *)
+  | Out_of_cycles of { delivered : int; in_flight : int }
+
+(** [run ?config ft ~flows] injects, for each [(src, dst, packets)] flow,
+    [packets] packets routed and layered by [ft].
+    @raise Invalid_argument if a flow's layer is >= [num_vls], a flow has
+    [src = dst] or negative packet count.
+    @raise Failure if a flow has no route. *)
+val run : ?config:config -> Ftable.t -> flows:(int * int * int) array -> outcome
+
+val pp_outcome : Format.formatter -> outcome -> unit

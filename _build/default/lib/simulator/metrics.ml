@@ -1,0 +1,39 @@
+type summary = {
+  n : int;
+  min : float;
+  max : float;
+  mean : float;
+  stddev : float;
+  median : float;
+}
+
+let mean xs =
+  if Array.length xs = 0 then invalid_arg "Metrics.mean: empty sample";
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+let percentile p xs =
+  if Array.length xs = 0 then invalid_arg "Metrics.percentile: empty sample";
+  if p < 0.0 || p > 1.0 then invalid_arg "Metrics.percentile: p out of range";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let rank = int_of_float (ceil (p *. float_of_int n)) in
+  sorted.(max 0 (min (n - 1) (rank - 1)))
+
+let summarize xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Metrics.summarize: empty sample";
+  let mu = mean xs in
+  let var = Array.fold_left (fun acc x -> acc +. ((x -. mu) *. (x -. mu))) 0.0 xs /. float_of_int n in
+  {
+    n;
+    min = Array.fold_left min xs.(0) xs;
+    max = Array.fold_left max xs.(0) xs;
+    mean = mu;
+    stddev = sqrt var;
+    median = percentile 0.5 xs;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d min=%.4f median=%.4f mean=%.4f max=%.4f sd=%.4f" s.n s.min s.median s.mean s.max
+    s.stddev

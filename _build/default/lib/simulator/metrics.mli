@@ -1,0 +1,21 @@
+(** Small statistics helpers shared by the simulators and the experiment
+    harness. *)
+
+type summary = {
+  n : int;
+  min : float;
+  max : float;
+  mean : float;
+  stddev : float;
+  median : float;
+}
+
+(** Summary of a non-empty sample. @raise Invalid_argument on empty. *)
+val summarize : float array -> summary
+
+(** [percentile p xs] for [p] in [0, 1], nearest-rank on a sorted copy. *)
+val percentile : float -> float array -> float
+
+val mean : float array -> float
+
+val pp_summary : Format.formatter -> summary -> unit

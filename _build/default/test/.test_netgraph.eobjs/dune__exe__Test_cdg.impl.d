@@ -1,0 +1,1 @@
+test/test_cdg.ml: Acyclic Alcotest App Array Cdg Channel Cycle Deadlock Graph Heuristic Layers List Online Pk_order QCheck2 QCheck_alcotest Result Rng Routing Testutil Topo_random Topo_ring

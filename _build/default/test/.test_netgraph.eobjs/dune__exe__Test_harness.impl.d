@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Array Filename Float Graph Harness Lazy List Printf Result Rng Serial String Sys Testutil Topo_ring Topo_torus Topo_tree Unix

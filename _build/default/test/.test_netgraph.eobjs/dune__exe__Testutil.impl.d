@@ -1,0 +1,1 @@
+test/testutil.ml: String

@@ -1,0 +1,487 @@
+(* Cross-module property tests: structural invariants of every topology
+   generator, the defining properties of destination-based routing, and
+   end-to-end consistency between the analytical machinery (CDG
+   acyclicity) and both packet simulators. *)
+
+let _check = Alcotest.check
+
+let qtest ?(count = 40) name gen prop = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let seed_gen = QCheck2.Gen.int_range 0 100_000
+
+(* ------------------------------------------------------------------ *)
+(* Topology generator invariants                                        *)
+(* ------------------------------------------------------------------ *)
+
+let torus_invariants =
+  qtest ~count:25 "torus: regular degree, exact counts"
+    QCheck2.Gen.(pair (int_range 3 5) (int_range 3 5))
+    (fun (a, b) ->
+      let g, coords = Topo_torus.torus ~dims:[| a; b |] ~terminals_per_switch:1 in
+      Graph.num_switches g = a * b
+      && Graph.num_terminals g = a * b
+      && Array.for_all (fun sw -> Graph.degree g sw = 4 + 1) (Graph.switches g)
+      && Array.for_all (fun sw -> Coords.mem coords sw) (Graph.switches g)
+      && Result.is_ok (Graph.validate g))
+
+let mesh_invariants =
+  qtest ~count:25 "mesh: corner/edge/interior degrees"
+    QCheck2.Gen.(pair (int_range 3 5) (int_range 3 5))
+    (fun (a, b) ->
+      let g, coords = Topo_torus.mesh ~dims:[| a; b |] ~terminals_per_switch:0 in
+      Array.for_all
+        (fun sw ->
+          let c = Coords.get coords sw in
+          let expected =
+            (if c.(0) = 0 || c.(0) = a - 1 then 1 else 2) + if c.(1) = 0 || c.(1) = b - 1 then 1 else 2
+          in
+          Graph.degree g sw = expected)
+        (Graph.switches g))
+
+let tree_invariants =
+  qtest ~count:15 "k-ary n-tree: level populations and port counts"
+    QCheck2.Gen.(pair (int_range 2 4) (int_range 2 3))
+    (fun (k, n) ->
+      let g = Topo_tree.make ~k ~n () in
+      match Routing.Ftree.levels g with
+      | Error _ -> false
+      | Ok levels ->
+        let count l =
+          Array.fold_left (fun acc sw -> if levels.(sw) = l then acc + 1 else acc) 0 (Graph.switches g)
+        in
+        let per_level = Topo_tree.num_switches ~k ~n / n in
+        let rec all_levels l = l >= n || (count (n - 1 - l) = per_level && all_levels (l + 1)) in
+        (* note: ftree levels count from the leaves; a k-ary n-tree has n
+           switch levels of equal size *)
+        all_levels 0
+        && Graph.num_terminals g = int_of_float (float_of_int k ** float_of_int n)
+        && Result.is_ok (Graph.validate g))
+
+let xgft_invariants =
+  qtest ~count:15 "xgft: switch count matches the closed formula"
+    QCheck2.Gen.(pair (pair (int_range 2 4) (int_range 2 4)) (pair (int_range 1 3) (int_range 1 3)))
+    (fun ((m1, m2), (w1, w2)) ->
+      let ms = [| m1; m2 |] and ws = [| w1; w2 |] in
+      let g = Topo_xgft.make ~ms ~ws ~endpoints:(Topo_xgft.num_leaves ~ms * 2) in
+      Graph.num_switches g = Topo_xgft.num_switches ~ms ~ws
+      && Graph.num_switches g = (m1 * m2) + (m2 * w1) + (w1 * w2)
+      && Graph.connected g)
+
+let kautz_invariants =
+  qtest ~count:10 "kautz: vertex count and bounded switch degree"
+    QCheck2.Gen.(pair (int_range 2 3) (int_range 2 3))
+    (fun (b, n) ->
+      let g = Topo_kautz.make ~b ~n ~endpoints:0 in
+      Graph.num_switches g = Topo_kautz.num_switches ~b ~n
+      && Array.for_all (fun sw -> Graph.degree g sw <= 2 * b) (Graph.switches g)
+      && Graph.connected g)
+
+let dragonfly_invariants =
+  qtest ~count:10 "dragonfly: canonical group wiring is balanced"
+    QCheck2.Gen.(pair (int_range 2 4) (int_range 1 2))
+    (fun (a, h) ->
+      let g = Topo_dragonfly.make ~a ~p:1 ~h () in
+      let groups = (a * h) + 1 in
+      Graph.num_switches g = groups * a
+      && Array.for_all (fun sw -> Graph.degree g sw = a - 1 + h + 1) (Graph.switches g)
+      && Graph.connected g)
+
+let hyperx_invariants =
+  qtest ~count:15 "hyperx: degree = sum of (k_i - 1)"
+    QCheck2.Gen.(pair (int_range 2 4) (int_range 2 4))
+    (fun (a, b) ->
+      let g, _ = Topo_hyperx.make ~dims:[| a; b |] ~terminals_per_switch:0 in
+      Array.for_all (fun sw -> Graph.degree g sw = a - 1 + (b - 1)) (Graph.switches g)
+      && 2 * Topo_hyperx.num_cables ~dims:[| a; b |] = Graph.num_channels g)
+
+let serial_roundtrip_random =
+  qtest ~count:25 "serial: canonical text form is a fixpoint" seed_gen (fun seed ->
+      let rng = Rng.create seed in
+      let g = Topo_random.make ~switches:8 ~switch_radix:10 ~terminals:16 ~inter_links:14 ~rng in
+      let once = Serial.to_string g in
+      match Serial.of_string once with
+      | Error _ -> false
+      | Ok g2 ->
+        Serial.to_string g2 = once
+        && Graph.num_channels g2 = Graph.num_channels g
+        && Graph.num_terminals g2 = Graph.num_terminals g)
+
+(* ------------------------------------------------------------------ *)
+(* Destination-based routing: the defining suffix property              *)
+(* ------------------------------------------------------------------ *)
+
+(* If the route src -> dst passes through node v, its tail from v equals
+   the route v would use itself (there is only one table entry per
+   (node, dst)). This is what makes per-pair layer reassignment sound. *)
+let suffix_property route_name route =
+  qtest ~count:20 (route_name ^ ": route tails agree with the table") seed_gen (fun seed ->
+      let rng = Rng.create seed in
+      let g = Topo_random.make ~switches:8 ~switch_radix:10 ~terminals:16 ~inter_links:14 ~rng in
+      match route g with
+      | Error _ -> false
+      | Ok ft ->
+        let ok = ref true in
+        let terminals = Graph.terminals g in
+        Array.iter
+          (fun src ->
+            Array.iter
+              (fun dst ->
+                if src <> dst && !ok then
+                  match Routing.Ftable.path ft ~src ~dst with
+                  | None -> ok := false
+                  | Some p ->
+                    let nodes = Path.node_sequence g p in
+                    (* compare the tail starting at every intermediate
+                       terminal or switch that is itself a terminal pair
+                       endpoint: check via table-following from node *)
+                    Array.iteri
+                      (fun i v ->
+                        if i > 0 && i < Array.length nodes - 1 && !ok then begin
+                          (* follow the table from v *)
+                          let rec follow node acc steps =
+                            if node = dst then Some (List.rev acc)
+                            else if steps > Graph.num_nodes g then None
+                            else
+                              match Routing.Ftable.next ft ~node ~dst with
+                              | None -> None
+                              | Some c -> follow (Graph.channel g c).Channel.dst (c :: acc) (steps + 1)
+                          in
+                          match follow v [] 0 with
+                          | None -> ok := false
+                          | Some tail ->
+                            let expected = Array.to_list (Array.sub p i (Array.length p - i)) in
+                            if tail <> expected then ok := false
+                        end)
+                      nodes)
+              terminals)
+          terminals;
+        !ok)
+
+let minhop_suffix = suffix_property "minhop" Routing.Minhop.route
+let sssp_suffix = suffix_property "sssp" Routing.Sssp.route
+let updown_suffix = suffix_property "updown" Routing.Updown.route
+
+(* ------------------------------------------------------------------ *)
+(* Determinism                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let routing_deterministic =
+  qtest ~count:15 "routing: identical tables on repeated runs" seed_gen (fun seed ->
+      let rng = Rng.create seed in
+      let g = Topo_random.make ~switches:8 ~switch_radix:10 ~terminals:16 ~inter_links:14 ~rng in
+      List.for_all
+        (fun name ->
+          match (Harness.Runs.run_named name g, Harness.Runs.run_named name g) with
+          | Ok a, Ok b ->
+            let same = ref true in
+            Routing.Ftable.iter_pairs a (fun ~src ~dst p ->
+                (match Routing.Ftable.path b ~src ~dst with
+                | Some p' when p' = p -> ()
+                | _ -> same := false);
+                if Routing.Ftable.layer a ~src ~dst <> Routing.Ftable.layer b ~src ~dst then same := false);
+            !same
+          | Error _, Error _ -> true
+          | _ -> false)
+        [ "minhop"; "sssp"; "updown"; "lash"; "dfsssp" ])
+
+(* ------------------------------------------------------------------ *)
+(* Congestion conservation                                              *)
+(* ------------------------------------------------------------------ *)
+
+let congestion_conservation =
+  qtest ~count:20 "congestion: total load = total hops" seed_gen (fun seed ->
+      let rng = Rng.create seed in
+      let g = Topo_random.make ~switches:8 ~switch_radix:10 ~terminals:16 ~inter_links:14 ~rng in
+      match Routing.Sssp.route g with
+      | Error _ -> false
+      | Ok ft ->
+        let flows = Simulator.Patterns.random_bisection rng (Graph.terminals g) in
+        let r = Simulator.Congestion.evaluate ft ~flows in
+        let total_load = Array.fold_left ( + ) 0 r.Simulator.Congestion.channel_load in
+        let total_hops =
+          Array.fold_left
+            (fun acc (src, dst) ->
+              match Routing.Ftable.path ft ~src ~dst with
+              | Some p -> acc + Array.length p
+              | None -> acc)
+            0 flows
+        in
+        total_load = total_hops)
+
+(* ------------------------------------------------------------------ *)
+(* Analytical <-> dynamic agreement                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Acyclic per-lane CDGs are sufficient for deadlock freedom: whenever the
+   verifier says yes, both simulators must drain any workload. *)
+let acyclic_implies_drain =
+  qtest ~count:12 "acyclic CDG => both simulators drain" seed_gen (fun seed ->
+      let rng = Rng.create seed in
+      let g = Topo_random.make ~switches:7 ~switch_radix:8 ~terminals:14 ~inter_links:11 ~rng in
+      match Dfsssp.route ~max_layers:16 g with
+      | Error _ -> false
+      | Ok ft ->
+        Dfsssp.Verify.deadlock_free ft
+        &&
+        let ts = Graph.terminals g in
+        let n = Array.length ts in
+        let shift = 1 + Rng.int rng (n - 1) in
+        let mk count =
+          Array.init n (fun i -> (ts.(i), ts.((i + shift) mod n), count))
+          |> Array.to_list
+          |> List.filter (fun (a, b, _) -> a <> b)
+          |> Array.of_list
+        in
+        let flit_ok =
+          let config = { Simulator.Flitsim.default_config with num_vls = 16 } in
+          match Simulator.Flitsim.run ~config ft ~flows:(mk 12) with
+          | Simulator.Flitsim.Delivered _ -> true
+          | _ -> false
+        in
+        let net_ok =
+          let config = { Simulator.Netsim.default_config with num_vls = 16 } in
+          match Simulator.Netsim.run ~config ft ~flows:(mk 16384) with
+          | Simulator.Netsim.Completed _ -> true
+          | _ -> false
+        in
+        flit_ok && net_ok)
+
+(* ------------------------------------------------------------------ *)
+(* Cycle search vs Kahn on random dependency sets                       *)
+(* ------------------------------------------------------------------ *)
+
+let cycle_vs_kahn =
+  qtest ~count:30 "cycle search agrees with Kahn" seed_gen (fun seed ->
+      let rng = Rng.create seed in
+      let g = Topo_random.make ~switches:6 ~switch_radix:8 ~terminals:6 ~inter_links:9 ~rng in
+      let cdg = Deadlock.Cdg.create g in
+      (* random consistent 2-chains as paths *)
+      for pair = 0 to 40 do
+        let c1 = Rng.int rng (Graph.num_channels g) in
+        let succs = Graph.out_channels g (Graph.channel g c1).Channel.dst in
+        if Array.length succs > 0 then begin
+          let c2 = Rng.pick rng succs in
+          if c1 <> c2 then Deadlock.Cdg.add_path cdg ~pair [| c1; c2 |]
+        end
+      done;
+      let search = Deadlock.Cycle.create cdg in
+      let found = Deadlock.Cycle.find_cycle search <> None in
+      found = not (Deadlock.Acyclic.is_acyclic cdg))
+
+(* ------------------------------------------------------------------ *)
+(* Opensm dump consistency                                              *)
+(* ------------------------------------------------------------------ *)
+
+let sl_dump_matches_layers =
+  qtest ~count:10 "opensm: SL dump encodes the layer table" seed_gen (fun seed ->
+      let rng = Rng.create seed in
+      let g = Topo_random.make ~switches:6 ~switch_radix:8 ~terminals:10 ~inter_links:9 ~rng in
+      match Dfsssp.route ~max_layers:16 g with
+      | Error _ -> false
+      | Ok ft ->
+        let dump = Routing.Opensm.sl_dump ft in
+        let rows =
+          String.split_on_char '\n' dump |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+        in
+        let terminals = Graph.terminals g in
+        List.length rows = Array.length terminals
+        && List.for_all2
+             (fun row src ->
+               match String.split_on_char ' ' row with
+               | [ _lid; payload ] ->
+                 String.length payload = Array.length terminals
+                 && Array.for_all
+                      (fun j ->
+                        let dst = terminals.(j) in
+                        if src = dst then payload.[j] = '.'
+                        else
+                          let vl = Routing.Ftable.layer ft ~src ~dst in
+                          payload.[j] = "0123456789abcdef".[vl])
+                      (Array.init (Array.length terminals) Fun.id)
+               | _ -> false)
+             rows (Array.to_list terminals))
+
+(* ------------------------------------------------------------------ *)
+(* Ftable_io on random fabrics                                          *)
+(* ------------------------------------------------------------------ *)
+
+let ftable_io_random =
+  qtest ~count:12 "ftable_io: routes survive the round trip" seed_gen (fun seed ->
+      let rng = Rng.create seed in
+      let g = Topo_random.make ~switches:7 ~switch_radix:8 ~terminals:10 ~inter_links:10 ~rng in
+      match Dfsssp.route ~max_layers:16 g with
+      | Error _ -> false
+      | Ok ft -> (
+        match Routing.Ftable_io.of_string (Routing.Ftable_io.to_string ft) with
+        | Error _ -> false
+        | Ok ft' ->
+          let g' = Routing.Ftable.graph ft' in
+          let by_name = Hashtbl.create 32 in
+          Array.iter (fun (nd : Node.t) -> Hashtbl.replace by_name nd.name nd.id) (Graph.nodes g');
+          let names gg p = Array.map (fun v -> (Graph.node gg v).Node.name) (Path.node_sequence gg p) in
+          let ok = ref (Result.is_ok (Routing.Ftable.validate ft')) in
+          Routing.Ftable.iter_pairs ft (fun ~src ~dst p ->
+              let src' = Hashtbl.find by_name (Graph.node g src).Node.name in
+              let dst' = Hashtbl.find by_name (Graph.node g dst).Node.name in
+              (match Routing.Ftable.path ft' ~src:src' ~dst:dst' with
+              | Some p' when names g' p' = names g p -> ()
+              | _ -> ok := false);
+              if Routing.Ftable.layer ft ~src ~dst <> Routing.Ftable.layer ft' ~src:src' ~dst:dst' then
+                ok := false);
+          !ok && Dfsssp.Verify.deadlock_free ft'))
+
+
+(* ------------------------------------------------------------------ *)
+(* Resumable offline sweep vs a naive restart-based reference           *)
+(* ------------------------------------------------------------------ *)
+
+(* A from-scratch reimplementation of Algorithm 2 that restarts the cycle
+   search after every break (the expensive strategy the paper's resumable
+   search avoids). Both must produce valid assignments; agreement on the
+   layer count over random workloads is strong evidence the resumable
+   bookkeeping (stack truncation, stale color reuse) is faithful. *)
+let naive_offline g ~paths ~max_layers =
+  let layer_of_path = Array.make (Array.length paths) 0 in
+  let exception Budget in
+  let rec settle vl =
+    if vl >= max_layers then raise Budget
+    else begin
+      let cdg = Deadlock.Cdg.create g in
+      Array.iteri (fun i p -> if layer_of_path.(i) = vl then Deadlock.Cdg.add_path cdg ~pair:i p) paths;
+      let search = Deadlock.Cycle.create cdg in
+      match Deadlock.Cycle.find_cycle search with
+      | None -> ()
+      | Some cycle ->
+        if vl + 1 >= max_layers then raise Budget;
+        let c1, c2 = Deadlock.Heuristic.choose Deadlock.Heuristic.Weakest cdg cycle in
+        List.iter
+          (fun pr -> if layer_of_path.(pr) = vl then layer_of_path.(pr) <- vl + 1)
+          (Deadlock.Cdg.edge_pairs cdg ~c1 ~c2);
+        settle vl (* full restart on the same layer *)
+    end
+  in
+  match
+    let vl = ref 0 in
+    let continue = ref true in
+    while !continue do
+      settle !vl;
+      incr vl;
+      if Array.for_all (fun l -> l < !vl) layer_of_path then continue := false
+    done
+  with
+  | () -> Some (layer_of_path, 1 + Array.fold_left max 0 layer_of_path)
+  | exception Budget -> None
+
+let resumable_matches_naive =
+  qtest ~count:15 "offline sweep agrees with restart-based reference" seed_gen (fun seed ->
+      let rng = Rng.create seed in
+      let g = Topo_random.make ~switches:8 ~switch_radix:8 ~terminals:16 ~inter_links:12 ~rng in
+      match Routing.Sssp.route g with
+      | Error _ -> false
+      | Ok ft ->
+        let paths = ref [] in
+        Routing.Ftable.iter_pairs ft (fun ~src:_ ~dst:_ p -> paths := p :: !paths);
+        let paths = Array.of_list (List.rev !paths) in
+        (match
+           ( Deadlock.Layers.assign g ~paths ~max_layers:16 ~heuristic:Deadlock.Heuristic.Weakest,
+             naive_offline g ~paths ~max_layers:16 )
+         with
+        | Ok outcome, Some (naive_layers, naive_used) ->
+          Deadlock.Acyclic.layers_acyclic g ~paths ~layer_of_path:naive_layers ~num_layers:naive_used
+          && Deadlock.Acyclic.layers_acyclic g ~paths
+               ~layer_of_path:outcome.Deadlock.Layers.layer_of_path
+               ~num_layers:outcome.Deadlock.Layers.layers_used
+          (* both strategies must land within one layer of each other *)
+          && abs (outcome.Deadlock.Layers.layers_used - naive_used) <= 1
+        | Error _, None -> true
+        | _ -> false))
+
+(* ------------------------------------------------------------------ *)
+(* Degradation keeps DFSSSP sound at switch granularity                 *)
+(* ------------------------------------------------------------------ *)
+
+let switch_removal_sound =
+  qtest ~count:15 "dfsssp survives switch removal" seed_gen (fun seed ->
+      let rng = Rng.create seed in
+      let g = Topo_random.make ~switches:9 ~switch_radix:10 ~terminals:18 ~inter_links:16 ~rng in
+      let victim = Rng.pick rng (Graph.switches g) in
+      match Degrade.remove_switch g ~switch:victim with
+      | Error _ -> true (* remainder disconnected: nothing to check *)
+      | Ok g' -> (
+        match Dfsssp.route ~max_layers:16 g' with
+        | Error _ -> false
+        | Ok ft -> (
+          match Dfsssp.Verify.report ft with
+          | Ok r -> r.Dfsssp.Verify.deadlock_free
+          | Error _ -> false)))
+
+(* ------------------------------------------------------------------ *)
+(* Collective schedules partition the pair space                        *)
+(* ------------------------------------------------------------------ *)
+
+let a2a_rounds_partition =
+  qtest ~count:25 "pairwise all-to-all rounds partition all ordered pairs"
+    QCheck2.Gen.(int_range 2 17)
+    (fun n ->
+      let ranks = Array.init n (fun i -> 100 + i) in
+      let sched = Simulator.Collective.all_to_all_pairwise ranks in
+      let seen = Hashtbl.create 64 in
+      List.for_all
+        (fun round ->
+          Array.for_all
+            (fun (a, b) ->
+              if a = b || Hashtbl.mem seen (a, b) then false
+              else begin
+                Hashtbl.replace seen (a, b) ();
+                true
+              end)
+            round)
+        sched.Simulator.Collective.rounds
+      && Hashtbl.length seen = n * (n - 1))
+
+(* ------------------------------------------------------------------ *)
+(* Multipath planes stay minimal and spread consistently                *)
+(* ------------------------------------------------------------------ *)
+
+let multipath_sound =
+  qtest ~count:10 "multipath: every plane minimal, spread paths consistent" seed_gen (fun seed ->
+      let rng = Rng.create seed in
+      let g = Topo_random.make ~switches:8 ~switch_radix:10 ~terminals:12 ~inter_links:12 ~rng in
+      match Dfsssp.Multipath.route ~planes:3 ~max_layers:16 g with
+      | Error _ -> false
+      | Ok mp ->
+        Dfsssp.Multipath.deadlock_free mp
+        && Array.for_all
+             (fun ft ->
+               match Routing.Ftable.validate ft with
+               | Ok s -> s.Routing.Ftable.minimal
+               | Error _ -> false)
+             (Dfsssp.Multipath.planes mp)
+        &&
+        let flows = Simulator.Patterns.all_to_all (Graph.terminals g) in
+        let paths = Dfsssp.Multipath.spread_paths mp ~flows in
+        Array.for_all (fun p -> Array.length p = 0 || Path.is_consistent g p) paths)
+
+let () =
+  Alcotest.run "properties"
+    [
+      ( "topologies",
+        [
+          torus_invariants;
+          mesh_invariants;
+          tree_invariants;
+          xgft_invariants;
+          kautz_invariants;
+          dragonfly_invariants;
+          hyperx_invariants;
+          serial_roundtrip_random;
+        ] );
+      ("routing", [ minhop_suffix; sssp_suffix; updown_suffix; routing_deterministic ]);
+      ("congestion", [ congestion_conservation ]);
+      ("simulators", [ acyclic_implies_drain ]);
+      ("cdg", [ cycle_vs_kahn; resumable_matches_naive ]);
+      ("interop", [ sl_dump_matches_layers; ftable_io_random ]);
+      ("degradation", [ switch_removal_sound ]);
+      ("collectives", [ a2a_rounds_partition ]);
+      ("multipath", [ multipath_sound ]);
+    ]
