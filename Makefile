@@ -1,0 +1,16 @@
+.PHONY: all check test doc clean
+
+all:
+	dune build
+
+# The tier-1 gate: everything compiles and every test suite passes.
+check:
+	dune build && dune runtest
+
+test: check
+
+doc:
+	dune build @doc
+
+clean:
+	dune clean

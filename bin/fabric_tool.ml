@@ -137,6 +137,124 @@ let diff_cmd =
     (Cmd.info "diff" ~doc:"structural diff of two fabrics (canonical text form)")
     Term.(const run $ spec_a $ spec_b)
 
+(* manage: the live fabric manager — replay a fault schedule and report
+   convergence after every event. *)
+let manage_cmd =
+  let run spec events seed schedule_file removals drains algorithm max_layers layer_budget
+      repair_fraction print_schedule =
+    let layer_budget = Option.value ~default:max_layers layer_budget in
+    if max_layers < 1 || layer_budget < 1 then begin
+      prerr_endline "manage: --max-layers and --layer-budget must be at least 1";
+      2
+    end
+    else if repair_fraction < 0.0 || repair_fraction > 1.0 then begin
+      prerr_endline "manage: --repair-fraction must be within [0, 1]";
+      2
+    end
+    else
+      match load_spec spec with
+      | Error msg ->
+        prerr_endline msg;
+        2
+      | Ok t -> (
+        let g = t.Harness.Topospec.graph in
+        let config = { Fabric.Manager.algorithm; max_layers; layer_budget; repair_fraction } in
+      let schedule =
+        match schedule_file with
+        | Some path -> (
+          match Fabric.Schedule.of_string (In_channel.with_open_text path In_channel.input_all) with
+          | Ok s -> Ok s
+          | Error msg -> Error (Printf.sprintf "schedule %s: %s" path msg))
+        | None ->
+          let rng = Netgraph.Rng.create seed in
+          Ok
+            (Fabric.Schedule.generate g ~rng ~events ~switch_removals:removals ~drains ~up_fraction:0.35
+               ())
+      in
+      match schedule with
+      | Error msg ->
+        prerr_endline msg;
+        2
+      | Ok schedule -> (
+        match Fabric.Manager.create ~config g with
+        | Error msg ->
+          Format.eprintf "initial routing failed: %s@." msg;
+          1
+        | Ok mgr ->
+          Format.printf "%s@.%a@.initial tables: epoch %d (%s, %d max layers)@.@." t.Harness.Topospec.description
+            Netgraph.Graph.pp_stats g (Fabric.Manager.epoch mgr) algorithm max_layers;
+          if print_schedule then
+            Format.printf "schedule (%d event(s)):@.%s@." (List.length schedule)
+              (Fabric.Schedule.to_string schedule);
+          List.iteri
+            (fun i ev ->
+              let o = Fabric.Manager.apply mgr ev in
+              Format.printf "[%2d] %a@." (i + 1) Fabric.Manager.pp_outcome o)
+            schedule;
+          Format.printf "@.convergence report@.%a@." Fabric.Manager.pp_summary mgr;
+          if Fabric.Manager.converged mgr then begin
+            Format.printf "converged: every applied event ended in a verified table swap@.";
+            0
+          end
+          else begin
+            Format.printf "NOT CONVERGED: some applied event left unverified tables@.";
+            1
+          end))
+  in
+  let spec = Arg.(required & pos 0 (some string) None & info [] ~docv:"SPEC") in
+  let events =
+    Arg.(value & opt int 10 & info [ "events" ] ~docv:"N" ~doc:"Generated schedule length.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED") in
+  let schedule_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "schedule" ] ~docv:"FILE"
+          ~doc:"Replay this schedule file (one \"down/up/drain/remove <id>\" per line) instead of generating one.")
+  in
+  let removals =
+    Arg.(value & opt int 1 & info [ "switch-removals" ] ~docv:"N" ~doc:"Switch removals to schedule.")
+  in
+  let drains =
+    Arg.(value & opt int 0 & info [ "drains" ] ~docv:"N" ~doc:"Switch drains to schedule.")
+  in
+  let algorithm =
+    Arg.(
+      value & opt string "dfsssp"
+      & info [ "algorithm" ] ~docv:"NAME"
+          ~doc:"Routing algorithm for full recomputes; only dfsssp repairs incrementally.")
+  in
+  let max_layers =
+    Arg.(value & opt int 8 & info [ "max-layers" ] ~docv:"K" ~doc:"Virtual layer budget.")
+  in
+  let layer_budget =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "layer-budget" ] ~docv:"K"
+          ~doc:"Layers the incremental path may use before falling back (default: max-layers).")
+  in
+  let repair_fraction =
+    Arg.(
+      value & opt float 0.5
+      & info [ "repair-fraction" ] ~docv:"F"
+          ~doc:"Max fraction of destinations repaired incrementally; above it, full recompute.")
+  in
+  let print_schedule =
+    Arg.(value & flag & info [ "print-schedule" ] ~doc:"Echo the schedule before replaying it.")
+  in
+  Cmd.v
+    (Cmd.info "manage"
+       ~doc:"run the live fabric manager over a fault schedule and print a convergence report")
+    Term.(
+      const run $ spec $ events $ seed $ schedule_file $ removals $ drains $ algorithm $ max_layers
+      $ layer_budget $ repair_fraction $ print_schedule)
+
 let () =
   let doc = "fabric generation, inspection and conversion utilities" in
-  exit (Cmd.eval' (Cmd.group (Cmd.info "fabric_tool" ~version:"1.0.0" ~doc) [ info_cmd; convert_cmd; degrade_cmd; diff_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group
+          (Cmd.info "fabric_tool" ~version:"1.0.0" ~doc)
+          [ info_cmd; convert_cmd; degrade_cmd; diff_cmd; manage_cmd ]))

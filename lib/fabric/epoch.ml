@@ -1,0 +1,34 @@
+type entry = {
+  epoch : int;
+  label : string;
+  verify_s : float;
+}
+
+type t = {
+  mutable epoch : int;
+  mutable active : Ftable.t option;
+  mutable entries : entry list; (* newest first *)
+}
+
+let create () = { epoch = 0; active = None; entries = [] }
+
+let epoch t = t.epoch
+
+let active t = t.active
+
+let history t = List.rev t.entries
+
+let try_swap t ~label candidate =
+  let t0 = Unix.gettimeofday () in
+  let verdict = Dfsssp.Verify.report candidate in
+  let verify_s = Unix.gettimeofday () -. t0 in
+  match verdict with
+  | Error msg -> (Error (Printf.sprintf "incomplete routing: %s" msg), verify_s)
+  | Ok r ->
+    if not r.Dfsssp.Verify.deadlock_free then (Error "candidate tables are not deadlock-free", verify_s)
+    else begin
+      t.epoch <- t.epoch + 1;
+      t.active <- Some candidate;
+      t.entries <- { epoch = t.epoch; label; verify_s } :: t.entries;
+      (Ok r, verify_s)
+    end

@@ -1,0 +1,32 @@
+(** Epoch-based verified table swaps — the manager's safety gate. The
+    active forwarding tables only ever advance to a candidate that passed
+    the full independent verifier ({!Dfsssp.Verify.report}: completeness
+    over every terminal pair, per-layer CDG acyclicity). A rejected
+    candidate leaves the active epoch untouched, exactly like a subnet
+    manager that keeps serving the old LFTs until the new ones check
+    out. *)
+
+type entry = {
+  epoch : int;
+  label : string;  (** what produced this epoch, e.g. ["down 42 (incremental)"] *)
+  verify_s : float;
+}
+
+type t
+
+(** No active tables, epoch 0. *)
+val create : unit -> t
+
+val epoch : t -> int
+
+(** The tables currently being served, if any epoch was installed. *)
+val active : t -> Ftable.t option
+
+(** Installed epochs, oldest first. *)
+val history : t -> entry list
+
+(** [try_swap t ~label candidate] verifies [candidate] and, on success,
+    installs it as the next epoch. Always returns the verification wall
+    time; [Error] means the active tables were kept. *)
+val try_swap :
+  t -> label:string -> Ftable.t -> (Dfsssp.Verify.report, string) result * float

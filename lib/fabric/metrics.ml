@@ -1,0 +1,44 @@
+type t = {
+  mutable events_seen : int;
+  mutable events_applied : int;
+  mutable events_rejected : int;
+  mutable incremental_repairs : int;
+  mutable full_recomputes : int;
+  mutable fallbacks : int;
+  mutable dsts_repaired : int;
+  mutable dsts_total : int;
+  mutable swap_epochs : int;
+  mutable verify_failures : int;
+  mutable repair_s : float;
+  mutable verify_s : float;
+}
+
+let create () =
+  {
+    events_seen = 0;
+    events_applied = 0;
+    events_rejected = 0;
+    incremental_repairs = 0;
+    full_recomputes = 0;
+    fallbacks = 0;
+    dsts_repaired = 0;
+    dsts_total = 0;
+    swap_epochs = 0;
+    verify_failures = 0;
+    repair_s = 0.0;
+    verify_s = 0.0;
+  }
+
+let repaired_fraction m =
+  if m.dsts_total = 0 then 0.0 else float_of_int m.dsts_repaired /. float_of_int m.dsts_total
+
+let pp ppf m =
+  Format.fprintf ppf
+    "events: %d seen, %d applied, %d rejected@,\
+     incremental repairs: %d (%d/%d destinations recomputed, %.1f%%)@,\
+     full recomputes: %d (fallbacks from incremental: %d, verify failures: %d)@,\
+     swap epochs: %d@,\
+     time: repair %.3f s, verify %.3f s"
+    m.events_seen m.events_applied m.events_rejected m.incremental_repairs m.dsts_repaired m.dsts_total
+    (100.0 *. repaired_fraction m)
+    m.full_recomputes m.fallbacks m.verify_failures m.swap_epochs m.repair_s m.verify_s

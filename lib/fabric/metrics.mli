@@ -1,0 +1,27 @@
+(** Counters the fabric manager accumulates over its lifetime — the
+    operational telemetry a subnet manager exports. All fields are
+    mutated in place by {!Manager.apply}. *)
+
+type t = {
+  mutable events_seen : int;
+  mutable events_applied : int;  (** topology actually changed *)
+  mutable events_rejected : int;  (** refused (would disconnect, unknown id, ...) *)
+  mutable incremental_repairs : int;  (** events settled by partial recompute *)
+  mutable full_recomputes : int;  (** events settled by full reroute *)
+  mutable fallbacks : int;
+      (** incremental attempts abandoned for a full recompute (layer
+          budget exhausted or verification rejected the candidate) *)
+  mutable dsts_repaired : int;  (** destinations recomputed, incremental events only *)
+  mutable dsts_total : int;  (** destinations present, summed over incremental events *)
+  mutable swap_epochs : int;  (** epoch counter after the latest swap *)
+  mutable verify_failures : int;  (** candidate tables rejected by the verifier *)
+  mutable repair_s : float;  (** seconds spent computing routes/layers *)
+  mutable verify_s : float;  (** seconds spent in {!Dfsssp.Verify.report} *)
+}
+
+val create : unit -> t
+
+(** [dsts_repaired / dsts_total] ([0.] when no incremental repair ran). *)
+val repaired_fraction : t -> float
+
+val pp : Format.formatter -> t -> unit

@@ -16,5 +16,42 @@ val remove_cables : Graph.t -> rng:Rng.t -> count:int -> Graph.t * int
 (** [remove_switch g ~switch] removes one switch, its cables, and the
     terminals attached to it. Fails if the remainder is disconnected or
     [switch] is not a switch id. Node and channel ids are re-assigned;
-    nodes keep their names. *)
+    nodes keep their names. Channels disabled via {!disable_cable} are
+    dropped from the rebuilt fabric. *)
 val remove_switch : Graph.t -> switch:int -> (Graph.t, string) result
+
+(** {1 Id-stable fault injection}
+
+    Unlike {!remove_cables}, these keep every node {e and channel} id
+    intact: a disabled cable's channels merely leave the adjacency arrays
+    ({!Graph.with_enabled}), so external bookkeeping keyed by channel id
+    — forwarding tables, SSSP weight state, metrics — stays valid across
+    events. This is what the fabric manager's incremental re-routing is
+    built on. A cable is named by either channel id of its bidirectional
+    pair. *)
+
+(** [disable_cable g ~cable] takes one switch-to-switch cable down (both
+    directed channels). Fails if [cable] is unknown, touches a terminal,
+    is already down, or its loss would disconnect the fabric. Returns the
+    new graph and the disabled channel ids (ascending). *)
+val disable_cable : Graph.t -> cable:int -> (Graph.t * int list, string) result
+
+(** [restore_cable g ~cable] brings a disabled cable back up. Fails if the
+    cable is not currently disabled. Returns the new graph and the
+    restored channel ids (ascending). *)
+val restore_cable : Graph.t -> cable:int -> (Graph.t * int list, string) result
+
+(** [drain_switch g ~switch] disables as many of the switch's
+    inter-switch cables as connectivity allows (an operator preparing a
+    switch for maintenance). Cables whose loss would strand part of the
+    fabric — including the drained switch's own terminals — survive.
+    Returns the new graph and the disabled channel ids (possibly [[]]). *)
+val drain_switch : Graph.t -> switch:int -> (Graph.t * int list, string) result
+
+(** Lower channel ids of all currently-disabled cables, ascending. *)
+val disabled_cables : Graph.t -> int list
+
+(** Lower channel ids of all enabled switch-to-switch cables — the
+    candidates for {!disable_cable} (and for {!remove_cables}'s random
+    draw). *)
+val switch_cables : Graph.t -> int array

@@ -6,6 +6,7 @@ type t = {
   switches : int array;
   terminals : int array;
   reverse : int array; (* channel id -> paired opposite channel id, or -1 *)
+  enabled : bool array; (* channel id -> carried in the adjacency arrays *)
 }
 
 let num_nodes g = Array.length g.nodes
@@ -38,24 +39,36 @@ let is_switch g v = Node.is_switch g.nodes.(v)
 
 let is_terminal g v = Node.is_terminal g.nodes.(v)
 
-let make ~nodes ~channels ~reverse =
-  let n = Array.length nodes in
+let adjacency_of ~num_nodes:n ~channels ~enabled =
+  (* the mask is indexed by array position (= id on well-formed graphs):
+     malformed channel records must still construct so validate can
+     report them *)
   let out_count = Array.make n 0 and in_count = Array.make n 0 in
-  Array.iter
-    (fun (c : Channel.t) ->
-      out_count.(c.src) <- out_count.(c.src) + 1;
-      in_count.(c.dst) <- in_count.(c.dst) + 1)
+  Array.iteri
+    (fun i (c : Channel.t) ->
+      if enabled.(i) then begin
+        out_count.(c.src) <- out_count.(c.src) + 1;
+        in_count.(c.dst) <- in_count.(c.dst) + 1
+      end)
     channels;
   let out_channels = Array.init n (fun v -> Array.make out_count.(v) 0) in
   let in_channels = Array.init n (fun v -> Array.make in_count.(v) 0) in
   let out_fill = Array.make n 0 and in_fill = Array.make n 0 in
-  Array.iter
-    (fun (c : Channel.t) ->
-      out_channels.(c.src).(out_fill.(c.src)) <- c.id;
-      out_fill.(c.src) <- out_fill.(c.src) + 1;
-      in_channels.(c.dst).(in_fill.(c.dst)) <- c.id;
-      in_fill.(c.dst) <- in_fill.(c.dst) + 1)
+  Array.iteri
+    (fun i (c : Channel.t) ->
+      if enabled.(i) then begin
+        out_channels.(c.src).(out_fill.(c.src)) <- c.id;
+        out_fill.(c.src) <- out_fill.(c.src) + 1;
+        in_channels.(c.dst).(in_fill.(c.dst)) <- c.id;
+        in_fill.(c.dst) <- in_fill.(c.dst) + 1
+      end)
     channels;
+  (out_channels, in_channels)
+
+let make ~nodes ~channels ~reverse =
+  let n = Array.length nodes in
+  let enabled = Array.make (Array.length channels) true in
+  let out_channels, in_channels = adjacency_of ~num_nodes:n ~channels ~enabled in
   let switches =
     Array.of_list
       (Array.fold_right (fun (nd : Node.t) acc -> if Node.is_switch nd then nd.id :: acc else acc) nodes [])
@@ -64,7 +77,17 @@ let make ~nodes ~channels ~reverse =
     Array.of_list
       (Array.fold_right (fun (nd : Node.t) acc -> if Node.is_terminal nd then nd.id :: acc else acc) nodes [])
   in
-  { nodes; channels; out_channels; in_channels; switches; terminals; reverse }
+  { nodes; channels; out_channels; in_channels; switches; terminals; reverse; enabled }
+
+let channel_enabled g c = g.enabled.(c)
+
+let num_enabled_channels g = Array.fold_left (fun acc e -> if e then acc + 1 else acc) 0 g.enabled
+
+let with_enabled g ~enabled =
+  if Array.length enabled <> num_channels g then invalid_arg "Graph.with_enabled: mask size";
+  let enabled = Array.copy enabled in
+  let out_channels, in_channels = adjacency_of ~num_nodes:(num_nodes g) ~channels:g.channels ~enabled in
+  { g with out_channels; in_channels; enabled }
 
 let bfs_dist g src =
   let n = num_nodes g in

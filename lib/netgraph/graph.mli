@@ -40,6 +40,29 @@ val reverse_channel : t -> int -> int option
 val is_switch : t -> int -> bool
 val is_terminal : t -> int -> bool
 
+(** {1 Channel enablement}
+
+    Every channel exists forever under its original id; a channel may
+    additionally be {e disabled}, which removes it from the adjacency
+    arrays (so graph algorithms route around it) while keeping
+    {!channels}, {!reverse_channel} and all ids untouched. This is the
+    substrate for id-stable fault injection ({!Degrade.disable_cable})
+    and the incremental re-routing of the fabric manager. *)
+
+(** [channel_enabled g c] is [true] unless [c] was disabled by
+    {!with_enabled}. *)
+val channel_enabled : t -> int -> bool
+
+(** Number of channels currently carried in the adjacency arrays. *)
+val num_enabled_channels : t -> int
+
+(** [with_enabled g ~enabled] is [g] with exactly the channels whose mask
+    entry is [true] present in the adjacency arrays. Nodes, channels and
+    ids are shared unchanged; the mask is copied.
+    @raise Invalid_argument if the mask length differs from
+    [num_channels g]. *)
+val with_enabled : t -> enabled:bool array -> t
+
 (** {1 Graph algorithms} *)
 
 (** [bfs_dist g src] is the array of hop distances from node [src]

@@ -89,6 +89,36 @@ let set_num_layers t n =
   if n < 1 then invalid_arg "Ftable.set_num_layers";
   t.num_layers <- n
 
+type diff = {
+  dsts_changed : int;
+  entries_changed : int;
+  per_dst : (int * int) array;
+}
+
+let diff a b =
+  let ga = a.graph and gb = b.graph in
+  if Graph.num_nodes ga <> Graph.num_nodes gb then invalid_arg "Ftable.diff: node count mismatch";
+  let ta = Graph.terminals ga and tb = Graph.terminals gb in
+  if ta <> tb then invalid_arg "Ftable.diff: terminal sets differ";
+  let n = Graph.num_nodes ga in
+  let per_dst = ref [] and entries = ref 0 in
+  Array.iteri
+    (fun di dst ->
+      let changed = ref 0 in
+      for u = 0 to n - 1 do
+        if a.next.(u).(di) <> b.next.(u).(di) then incr changed
+      done;
+      if !changed > 0 then begin
+        per_dst := (dst, !changed) :: !per_dst;
+        entries := !entries + !changed
+      end)
+    ta;
+  let per_dst = Array.of_list (List.rev !per_dst) in
+  { dsts_changed = Array.length per_dst; entries_changed = !entries; per_dst }
+
+let pp_diff ppf d =
+  Format.fprintf ppf "%d destination(s) changed, %d entries rewritten" d.dsts_changed d.entries_changed
+
 type stats = {
   pairs : int;
   max_hops : int;

@@ -51,6 +51,26 @@ val num_layers : t -> int
 
 val set_num_layers : t -> int -> unit
 
+(** {1 Diffing} *)
+
+type diff = {
+  dsts_changed : int;  (** destinations with at least one rewritten entry *)
+  entries_changed : int;  (** total [(node, dst)] entries that differ *)
+  per_dst : (int * int) array;
+      (** (terminal id, changed entries) for each changed destination, in
+          terminal order *)
+}
+
+(** [diff a b] compares the forwarding entries of two tables over fabrics
+    with identical node and terminal ids — e.g. before and after an
+    id-stable topology event ({!Netgraph.Degrade.disable_cable}). The
+    per-destination counts are what a subnet manager would push to each
+    switch on a table swap.
+    @raise Invalid_argument if node counts or terminal ids differ. *)
+val diff : t -> t -> diff
+
+val pp_diff : Format.formatter -> diff -> unit
+
 (** {1 Validation} *)
 
 type stats = {

@@ -2,6 +2,35 @@ let initial_weights g =
   let n = Graph.num_nodes g in
   Array.make (Graph.num_channels g) (n * n)
 
+let route_destination_scratch ws g ~weights ~order ~flow ~ft ~dst =
+  let dist, via = Dijkstra.toward ws g ~weights ~dst in
+  if Array.exists (fun d -> d = max_int) dist then
+    Error (Printf.sprintf "sssp: node unreachable toward %d" dst)
+  else begin
+    Array.iteri (fun u c -> if u <> dst && c >= 0 then Ftable.set_next ft ~node:u ~dst ~channel:c) via;
+    (* Weight update: add to each channel the number of terminal
+       routes to [dst] crossing it, accumulating flows far-to-near
+       along the shortest-path tree. *)
+    Array.sort (fun a b -> compare dist.(b) dist.(a)) order;
+    Array.iteri (fun v _ -> flow.(v) <- if Graph.is_terminal g v && v <> dst then 1 else 0) flow;
+    Array.iter
+      (fun u ->
+        if u <> dst && flow.(u) > 0 then begin
+          let c = via.(u) in
+          weights.(c) <- weights.(c) + flow.(u);
+          let v = (Graph.channel g c).Channel.dst in
+          flow.(v) <- flow.(v) + flow.(u)
+        end)
+      order;
+    Ok ()
+  end
+
+let route_destination ws g ~weights ~ft ~dst =
+  let n = Graph.num_nodes g in
+  if Array.length weights <> Graph.num_channels g then invalid_arg "Sssp.route_destination: weights size";
+  route_destination_scratch ws g ~weights ~order:(Array.init n (fun i -> i)) ~flow:(Array.make n 0) ~ft
+    ~dst
+
 let route_plane g ~weights =
   let n = Graph.num_nodes g in
   if Array.length weights <> Graph.num_channels g then invalid_arg "Sssp.route_plane: weights size";
@@ -15,29 +44,7 @@ let route_plane g ~weights =
     (fun dst ->
       match !result with
       | Error _ -> ()
-      | Ok () ->
-        let dist, via = Dijkstra.toward ws g ~weights ~dst in
-        if Array.exists (fun d -> d = max_int) dist then
-          result := Error (Printf.sprintf "sssp: node unreachable toward %d" dst)
-        else begin
-          Array.iteri
-            (fun u c -> if u <> dst && c >= 0 then Ftable.set_next ft ~node:u ~dst ~channel:c)
-            via;
-          (* Weight update: add to each channel the number of terminal
-             routes to [dst] crossing it, accumulating flows far-to-near
-             along the shortest-path tree. *)
-          Array.sort (fun a b -> compare dist.(b) dist.(a)) order;
-          Array.iteri (fun v _ -> flow.(v) <- if Graph.is_terminal g v && v <> dst then 1 else 0) flow;
-          Array.iter
-            (fun u ->
-              if u <> dst && flow.(u) > 0 then begin
-                let c = via.(u) in
-                weights.(c) <- weights.(c) + flow.(u);
-                let v = (Graph.channel g c).Channel.dst in
-                flow.(v) <- flow.(v) + flow.(u)
-              end)
-            order
-        end)
+      | Ok () -> result := route_destination_scratch ws g ~weights ~order ~flow ~ft ~dst)
     (Graph.terminals g);
   match !result with
   | Error _ as e -> e

@@ -30,3 +30,13 @@ val route_plane : Graph.t -> weights:int array -> (Ftable.t, string) result
 
 (** Fresh weight state for {!route_plane}: every channel at [|V|^2]. *)
 val initial_weights : Graph.t -> int array
+
+(** [route_destination ws g ~weights ~ft ~dst] runs the per-destination
+    step of {!route_plane} for a single terminal [dst]: one weighted
+    Dijkstra toward [dst], forwarding entries written into [ft], and the
+    new routes' load added to [weights]. This is the building block of
+    incremental route repair (see {!Fabric.Repair}): after a topology
+    event only the affected destinations are re-run over the surviving
+    weight state. Fails if some node cannot reach [dst]. *)
+val route_destination :
+  Dijkstra.workspace -> Graph.t -> weights:int array -> ft:Ftable.t -> dst:int -> (unit, string) result

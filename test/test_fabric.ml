@@ -1,0 +1,388 @@
+(* Tests for the live fabric manager subsystem: id-stable fault
+   injection, forwarding-table diffing, incremental repair, verified
+   epoch swaps, the fallback policy, and the end-to-end acceptance run
+   on a 4x4x4 torus under a mixed fault schedule. *)
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Helpers                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let torus dims = fst (Topo_torus.torus ~dims ~terminals_per_switch:1)
+
+let chan_between g a b =
+  let found = ref (-1) in
+  Array.iter
+    (fun (c : Channel.t) -> if c.Channel.src = a && c.Channel.dst = b then found := c.Channel.id)
+    (Graph.channels g);
+  if !found < 0 then Alcotest.failf "no channel %d -> %d" a b;
+  !found
+
+let first_switch_cable g = (Degrade.switch_cables g).(0)
+
+let route_dfsssp ?(max_layers = 8) g =
+  let weights = Routing.Sssp.initial_weights g in
+  match Routing.Sssp.route_plane g ~weights with
+  | Error msg -> Alcotest.failf "route_plane: %s" msg
+  | Ok ft -> (
+    match Dfsssp.assign_layers ~max_layers ft with
+    | Ok ft -> ft
+    | Error e -> Alcotest.failf "assign_layers: %s" (Dfsssp.error_to_string e))
+
+(* ------------------------------------------------------------------ *)
+(* Events                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_event_roundtrip () =
+  List.iter
+    (fun ev ->
+      match Fabric.Event.of_string (Fabric.Event.to_string ev) with
+      | Ok ev' -> check Alcotest.bool (Fabric.Event.to_string ev) true (ev = ev')
+      | Error msg -> Alcotest.failf "roundtrip %s: %s" (Fabric.Event.to_string ev) msg)
+    [ Fabric.Event.Link_down 3; Fabric.Event.Link_up 0; Fabric.Event.Switch_drain 7; Fabric.Event.Switch_remove 12 ]
+
+let test_event_parse_rejects_garbage () =
+  List.iter
+    (fun s -> check Alcotest.bool s true (Result.is_error (Fabric.Event.of_string s)))
+    [ "explode 3"; "down"; "down x"; ""; "up 1 2" ]
+
+(* ------------------------------------------------------------------ *)
+(* Id-stable degrade: disable / restore / drain                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_disable_restore_id_stable () =
+  let g = torus [| 3; 3 |] in
+  let nc = Graph.num_channels g in
+  let cable = first_switch_cable g in
+  match Degrade.disable_cable g ~cable with
+  | Error msg -> Alcotest.failf "disable: %s" msg
+  | Ok (g', chans) ->
+    check Alcotest.int "channel ids preserved" nc (Graph.num_channels g');
+    check Alcotest.int "two directed channels down" (nc - 2) (Graph.num_enabled_channels g');
+    List.iter (fun c -> check Alcotest.bool "disabled" false (Graph.channel_enabled g' c)) chans;
+    check Alcotest.(list int) "disabled_cables lists the pair" [ List.hd chans ] (Degrade.disabled_cables g');
+    check Alcotest.bool "still connected" true (Graph.connected g');
+    check Alcotest.bool "still valid" true (Result.is_ok (Graph.validate g'));
+    (* the channel record itself is untouched: same endpoints, same id *)
+    let c = Graph.channel g cable and c' = Graph.channel g' cable in
+    check Alcotest.int "src stable" c.Channel.src c'.Channel.src;
+    check Alcotest.int "dst stable" c.Channel.dst c'.Channel.dst;
+    (match Degrade.restore_cable g' ~cable with
+    | Error msg -> Alcotest.failf "restore: %s" msg
+    | Ok (g'', chans') ->
+      check Alcotest.(list int) "same pair restored" chans chans';
+      check Alcotest.int "all channels back" nc (Graph.num_enabled_channels g'');
+      check Alcotest.(list int) "nothing left disabled" [] (Degrade.disabled_cables g''))
+
+let test_disable_rejections () =
+  let g = torus [| 3; 3 |] in
+  let t = (Graph.terminals g).(0) in
+  let attach = (Graph.out_channels g t).(0) in
+  check Alcotest.bool "terminal cable rejected" true (Result.is_error (Degrade.disable_cable g ~cable:attach));
+  check Alcotest.bool "unknown cable rejected" true (Result.is_error (Degrade.disable_cable g ~cable:(-1)));
+  let cable = first_switch_cable g in
+  let g', _ = Result.get_ok (Degrade.disable_cable g ~cable) in
+  check Alcotest.bool "double disable rejected" true (Result.is_error (Degrade.disable_cable g' ~cable));
+  check Alcotest.bool "restore of an enabled cable rejected" true
+    (Result.is_error (Degrade.restore_cable g ~cable))
+
+let test_disable_cut_edge_rejected () =
+  (* a line s0 - s1 - s2: both inter-switch cables are cut edges *)
+  let b = Builder.create () in
+  let s0 = Builder.add_switch b ~name:"s0" in
+  let s1 = Builder.add_switch b ~name:"s1" in
+  let s2 = Builder.add_switch b ~name:"s2" in
+  let _ = Builder.add_terminal b ~name:"t0" ~switch:s0 in
+  let _ = Builder.add_terminal b ~name:"t2" ~switch:s2 in
+  let c01, _ = Builder.add_link b s0 s1 in
+  let c12, _ = Builder.add_link b s1 s2 in
+  let g = Builder.build b in
+  List.iter
+    (fun cable ->
+      match Degrade.disable_cable g ~cable with
+      | Ok _ -> Alcotest.failf "disabling cut cable %d should be rejected" cable
+      | Error _ -> ())
+    [ c01; c12 ]
+
+let test_drain_switch () =
+  let g = torus [| 3; 3 |] in
+  let sw = (Graph.switches g).(0) in
+  match Degrade.drain_switch g ~switch:sw with
+  | Error msg -> Alcotest.failf "drain: %s" msg
+  | Ok (g', chans) ->
+    check Alcotest.bool "some cables drained" true (List.length chans >= 2);
+    check Alcotest.int "whole pairs only" 0 (List.length chans mod 2);
+    check Alcotest.bool "still connected" true (Graph.connected g')
+
+let test_remove_switch_drops_disabled () =
+  let g = torus [| 3; 3 |] in
+  let victim = (Graph.switches g).(0) in
+  let cable =
+    Array.to_list (Degrade.switch_cables g)
+    |> List.find (fun c ->
+           let ch = Graph.channel g c in
+           ch.Channel.src <> victim && ch.Channel.dst <> victim)
+  in
+  let a = (Graph.channel g cable).Channel.src and b = (Graph.channel g cable).Channel.dst in
+  let name n = (Graph.node g n).Node.name in
+  let g', _ = Result.get_ok (Degrade.disable_cable g ~cable) in
+  match Degrade.remove_switch g' ~switch:victim with
+  | Error msg -> Alcotest.failf "remove_switch: %s" msg
+  | Ok g2 ->
+    check Alcotest.int "rebuilt fabric has no disabled channels" (Graph.num_channels g2)
+      (Graph.num_enabled_channels g2);
+    let survived =
+      Array.exists
+        (fun (c : Channel.t) ->
+          let ns = (Graph.node g2 c.Channel.src).Node.name
+          and nd = (Graph.node g2 c.Channel.dst).Node.name in
+          (ns = name a && nd = name b) || (ns = name b && nd = name a))
+        (Graph.channels g2)
+    in
+    check Alcotest.bool "disabled cable dropped by the rebuild" false survived
+
+(* ------------------------------------------------------------------ *)
+(* Ftable.diff                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Hand-built fixture: two switches with one terminal each, one cable. *)
+let diff_fixture () =
+  let b = Builder.create () in
+  let s0 = Builder.add_switch b ~name:"s0" in
+  let s1 = Builder.add_switch b ~name:"s1" in
+  let t0 = Builder.add_terminal b ~name:"t0" ~switch:s0 in
+  let t1 = Builder.add_terminal b ~name:"t1" ~switch:s1 in
+  let _ = Builder.add_link b s0 s1 in
+  let g = Builder.build b in
+  let route () =
+    let ft = Routing.Ftable.create g ~algorithm:"hand" in
+    List.iter
+      (fun (node, dst, nxt) -> Routing.Ftable.set_next ft ~node ~dst ~channel:(chan_between g node nxt))
+      [ (s0, t1, s1); (s1, t1, t1); (t0, t1, s0); (s1, t0, s0); (s0, t0, t0); (t1, t0, s1) ];
+    ft
+  in
+  (g, s0, t0, t1, route)
+
+let test_diff_identical () =
+  let _, _, _, _, route = diff_fixture () in
+  let d = Routing.Ftable.diff (route ()) (route ()) in
+  check Alcotest.int "no dsts changed" 0 d.Routing.Ftable.dsts_changed;
+  check Alcotest.int "no entries changed" 0 d.Routing.Ftable.entries_changed;
+  check Alcotest.int "empty per_dst" 0 (Array.length d.Routing.Ftable.per_dst)
+
+let test_diff_counts_changed_entries () =
+  let g, s0, t0, t1, route = diff_fixture () in
+  let a = route () and b = route () in
+  (* point s0's entry for t1 at its terminal port instead — nonsense as a
+     route, but a legal entry, and diff only counts disagreements *)
+  Routing.Ftable.set_next b ~node:s0 ~dst:t1 ~channel:(chan_between g s0 t0);
+  let d = Routing.Ftable.diff a b in
+  check Alcotest.int "one dst changed" 1 d.Routing.Ftable.dsts_changed;
+  check Alcotest.int "one entry changed" 1 d.Routing.Ftable.entries_changed;
+  check Alcotest.(array (pair int int)) "per_dst pins the destination" [| (t1, 1) |] d.Routing.Ftable.per_dst
+
+let test_diff_mismatch_rejected () =
+  let _, _, _, _, route = diff_fixture () in
+  let other = route_dfsssp (torus [| 3; 3 |]) in
+  check Alcotest.bool "different fabrics rejected" true
+    (match Routing.Ftable.diff (route ()) other with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Incremental repair                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The regression the subsystem exists for: on a single-link failure the
+   incremental path recomputes strictly fewer destinations than the full
+   recompute would (which touches all of them). *)
+let test_affected_strictly_fewer_than_full () =
+  let g = torus [| 4; 4 |] in
+  let ft = route_dfsssp g in
+  let total = Graph.num_terminals g in
+  let some_cable_in_use = ref false in
+  Array.iter
+    (fun cable ->
+      let pair = Option.get (Graph.reverse_channel g cable) in
+      let affected = Fabric.Repair.affected_destinations ft ~channels:[ cable; pair ] in
+      if affected <> [] then some_cable_in_use := true;
+      check Alcotest.bool "strictly fewer destinations than a full recompute" true
+        (List.length affected < total))
+    (Degrade.switch_cables g);
+  check Alcotest.bool "routing does use the switch cables" true !some_cable_in_use
+
+(* ------------------------------------------------------------------ *)
+(* Manager                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_manager_single_link_incremental () =
+  let g = torus [| 4; 4 |] in
+  let mgr = Result.get_ok (Fabric.Manager.create g) in
+  let total = Graph.num_terminals g in
+  (* pick a cable some routes use but under the 50% repair budget *)
+  let cable =
+    Array.to_list (Degrade.switch_cables g)
+    |> List.find (fun c ->
+           let pair = Option.get (Graph.reverse_channel g c) in
+           let n =
+             List.length
+               (Fabric.Repair.affected_destinations (Fabric.Manager.tables mgr) ~channels:[ c; pair ])
+           in
+           n > 0 && 2 * n <= total)
+  in
+  let o = Fabric.Manager.apply mgr (Fabric.Event.Link_down cable) in
+  check Alcotest.bool "applied" true o.Fabric.Manager.applied;
+  (match o.Fabric.Manager.action with
+  | Fabric.Manager.Incremental { repaired; total = t } ->
+    check Alcotest.bool "repaired a strict subset" true (repaired > 0 && repaired < t);
+    (match o.Fabric.Manager.table_diff with
+    | Some d ->
+      check Alcotest.bool "kept trees copied verbatim" true (d.Routing.Ftable.dsts_changed <= repaired)
+    | None -> Alcotest.fail "incremental swap without a table diff")
+  | _ -> Alcotest.fail "expected an incremental repair");
+  check Alcotest.bool "no fallback" false o.Fabric.Manager.fallback;
+  check Alcotest.int "epoch advanced" 2 o.Fabric.Manager.epoch;
+  (match o.Fabric.Manager.verify with
+  | Some r -> check Alcotest.bool "verified deadlock-free" true r.Dfsssp.Verify.deadlock_free
+  | None -> Alcotest.fail "swap without a verification report");
+  (* bring the link back: the beneficiary repair must also end verified *)
+  let o2 = Fabric.Manager.apply mgr (Fabric.Event.Link_up cable) in
+  check Alcotest.bool "restore applied" true o2.Fabric.Manager.applied;
+  check Alcotest.bool "restore ends verified" true (o2.Fabric.Manager.verify <> None);
+  check Alcotest.bool "converged" true (Fabric.Manager.converged mgr)
+
+let test_manager_rejects_bad_event () =
+  let g = torus [| 3; 3 |] in
+  let mgr = Result.get_ok (Fabric.Manager.create g) in
+  let t = (Graph.terminals g).(0) in
+  let attach = (Graph.out_channels g t).(0) in
+  let o = Fabric.Manager.apply mgr (Fabric.Event.Link_down attach) in
+  check Alcotest.bool "not applied" false o.Fabric.Manager.applied;
+  check Alcotest.int "epoch unchanged" 1 o.Fabric.Manager.epoch;
+  check Alcotest.int "counted as rejected" 1 (Fabric.Manager.metrics mgr).Fabric.Metrics.events_rejected;
+  check Alcotest.bool "rejection does not break convergence" true (Fabric.Manager.converged mgr)
+
+(* Deterministic fallback: a ring needs two virtual layers, so with
+   layer_budget = 1 the incremental path must refuse and the manager must
+   fall back to a (verified) full recompute. *)
+let test_manager_fallback_on_layer_budget () =
+  let g = Topo_ring.make ~switches:8 ~terminals_per_switch:1 in
+  let config = { Fabric.Manager.default_config with layer_budget = 1; repair_fraction = 1.0 } in
+  let mgr = Result.get_ok (Fabric.Manager.create ~config g) in
+  check Alcotest.bool "ring routing needs multiple layers" true
+    (Routing.Ftable.num_layers (Fabric.Manager.tables mgr) > 1);
+  let o = Fabric.Manager.apply mgr (Fabric.Event.Link_down (first_switch_cable g)) in
+  check Alcotest.bool "applied" true o.Fabric.Manager.applied;
+  check Alcotest.bool "fell back" true o.Fabric.Manager.fallback;
+  (match o.Fabric.Manager.action with
+  | Fabric.Manager.Full _ -> ()
+  | _ -> Alcotest.fail "expected a full recompute after the fallback");
+  (match o.Fabric.Manager.verify with
+  | Some r -> check Alcotest.bool "fallback tables verified deadlock-free" true r.Dfsssp.Verify.deadlock_free
+  | None -> Alcotest.fail "fallback swap without a verification report");
+  check Alcotest.bool "fallback counted" true ((Fabric.Manager.metrics mgr).Fabric.Metrics.fallbacks >= 1);
+  check Alcotest.bool "converged despite the fallback" true (Fabric.Manager.converged mgr)
+
+(* The acceptance run from the issue: 4x4x4 torus, 10-event mixed
+   schedule (link downs, a link up, one switch removal). Every applied
+   event must end in a verified deadlock-free swap, and single-link
+   events must repair under 50% of the destinations. *)
+let test_manager_acceptance_4x4x4 () =
+  let g = torus [| 4; 4; 4 |] in
+  let rng = Rng.create 3 in
+  let schedule = Fabric.Schedule.generate g ~rng ~events:10 ~switch_removals:1 () in
+  check Alcotest.int "full-length schedule" 10 (List.length schedule);
+  check Alcotest.bool "schedule restores a link" true
+    (List.exists (function Fabric.Event.Link_up _ -> true | _ -> false) schedule);
+  check Alcotest.bool "schedule removes a switch" true
+    (List.exists (function Fabric.Event.Switch_remove _ -> true | _ -> false) schedule);
+  let mgr = Result.get_ok (Fabric.Manager.create g) in
+  let outcomes = Fabric.Manager.run mgr schedule in
+  List.iter
+    (fun (o : Fabric.Manager.outcome) ->
+      check Alcotest.bool "event applied" true o.Fabric.Manager.applied;
+      match o.Fabric.Manager.action with
+      | Fabric.Manager.Noop -> ()
+      | Fabric.Manager.Incremental { repaired; total } ->
+        check Alcotest.bool "single-link repair under 50% of destinations" true (2 * repaired < total);
+        (match o.Fabric.Manager.verify with
+        | Some r -> check Alcotest.bool "incremental swap verified" true r.Dfsssp.Verify.deadlock_free
+        | None -> Alcotest.fail "incremental swap without verification")
+      | Fabric.Manager.Full _ -> (
+        match o.Fabric.Manager.verify with
+        | Some r -> check Alcotest.bool "full swap verified" true r.Dfsssp.Verify.deadlock_free
+        | None -> Alcotest.fail "full swap without verification"))
+    outcomes;
+  let m = Fabric.Manager.metrics mgr in
+  check Alcotest.bool "the switch removal forced a full recompute" true (m.Fabric.Metrics.full_recomputes >= 1);
+  check Alcotest.bool "incremental repairs dominated" true (m.Fabric.Metrics.incremental_repairs >= 5);
+  check Alcotest.bool "overall repaired fraction under 50%" true (Fabric.Metrics.repaired_fraction m < 0.5);
+  check Alcotest.bool "converged" true (Fabric.Manager.converged mgr);
+  match Dfsssp.Verify.report (Fabric.Manager.tables mgr) with
+  | Ok r -> check Alcotest.bool "final tables deadlock-free" true r.Dfsssp.Verify.deadlock_free
+  | Error msg -> Alcotest.failf "final tables invalid: %s" msg
+
+(* ------------------------------------------------------------------ *)
+(* Schedules                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_schedule_deterministic_roundtrip () =
+  let g = torus [| 4; 4 |] in
+  let gen seed =
+    Fabric.Schedule.generate g ~rng:(Rng.create seed) ~events:8 ~switch_removals:1 ~drains:1 ()
+  in
+  check Alcotest.bool "deterministic in the seed" true (gen 7 = gen 7);
+  let s = gen 7 in
+  check Alcotest.bool "non-trivial schedule" true (List.length s > 0);
+  match Fabric.Schedule.of_string (Fabric.Schedule.to_string s) with
+  | Ok s' -> check Alcotest.bool "text roundtrip" true (s = s')
+  | Error msg -> Alcotest.failf "roundtrip: %s" msg
+
+let test_schedule_parse () =
+  match Fabric.Schedule.of_string "# maintenance window\ndown 3\n\nup 3\nremove 1\n" with
+  | Ok [ Fabric.Event.Link_down 3; Fabric.Event.Link_up 3; Fabric.Event.Switch_remove 1 ] -> ()
+  | Ok s -> Alcotest.failf "unexpected parse: %s" (Fabric.Schedule.to_string s)
+  | Error msg -> Alcotest.failf "parse: %s" msg
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "fabric"
+    [
+      ( "event",
+        [
+          Alcotest.test_case "text roundtrip" `Quick test_event_roundtrip;
+          Alcotest.test_case "garbage rejected" `Quick test_event_parse_rejects_garbage;
+        ] );
+      ( "degrade",
+        [
+          Alcotest.test_case "disable/restore keeps ids" `Quick test_disable_restore_id_stable;
+          Alcotest.test_case "rejections" `Quick test_disable_rejections;
+          Alcotest.test_case "cut edges survive" `Quick test_disable_cut_edge_rejected;
+          Alcotest.test_case "drain keeps connectivity" `Quick test_drain_switch;
+          Alcotest.test_case "rebuild drops disabled cables" `Quick test_remove_switch_drops_disabled;
+        ] );
+      ( "ftable-diff",
+        [
+          Alcotest.test_case "identical tables" `Quick test_diff_identical;
+          Alcotest.test_case "counts changed entries" `Quick test_diff_counts_changed_entries;
+          Alcotest.test_case "mismatched fabrics rejected" `Quick test_diff_mismatch_rejected;
+        ] );
+      ( "repair",
+        [
+          Alcotest.test_case "affected < full recompute" `Quick test_affected_strictly_fewer_than_full;
+        ] );
+      ( "manager",
+        [
+          Alcotest.test_case "single link down/up incremental" `Quick test_manager_single_link_incremental;
+          Alcotest.test_case "bad events rejected" `Quick test_manager_rejects_bad_event;
+          Alcotest.test_case "layer budget fallback" `Quick test_manager_fallback_on_layer_budget;
+          Alcotest.test_case "acceptance: 4x4x4 torus, mixed schedule" `Quick test_manager_acceptance_4x4x4;
+        ] );
+      ( "schedule",
+        [
+          Alcotest.test_case "deterministic + roundtrip" `Quick test_schedule_deterministic_roundtrip;
+          Alcotest.test_case "parser" `Quick test_schedule_parse;
+        ] );
+    ]

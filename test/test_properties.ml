@@ -416,6 +416,36 @@ let switch_removal_sound =
           | Error _ -> false)))
 
 (* ------------------------------------------------------------------ *)
+(* The fabric manager converges under arbitrary fault schedules         *)
+(* ------------------------------------------------------------------ *)
+
+(* Whatever mix of link downs/ups, drains and a switch removal a random
+   schedule throws at it, and on whichever substrate (ring, torus,
+   degraded XGFT), the manager must end every run on tables that pass the
+   full independent verifier: complete and deadlock-free. *)
+let fabric_manager_converges =
+  qtest ~count:10 "fabric manager: random fault schedules end verified" seed_gen (fun seed ->
+      let rng = Rng.create seed in
+      let g =
+        match Rng.int rng 3 with
+        | 0 -> Topo_ring.make ~switches:6 ~terminals_per_switch:1
+        | 1 -> fst (Topo_torus.torus ~dims:[| 3; 3 |] ~terminals_per_switch:1)
+        | _ ->
+          let base = Topo_xgft.make ~ms:[| 2; 3 |] ~ws:[| 2; 2 |] ~endpoints:12 in
+          fst (Degrade.remove_cables base ~rng ~count:1)
+      in
+      let schedule = Fabric.Schedule.generate g ~rng ~events:6 ~switch_removals:1 ~drains:1 () in
+      match Fabric.Manager.create g with
+      | Error _ -> false
+      | Ok mgr ->
+        let _ = Fabric.Manager.run mgr schedule in
+        Fabric.Manager.converged mgr
+        &&
+        (match Dfsssp.Verify.report (Fabric.Manager.tables mgr) with
+        | Ok r -> r.Dfsssp.Verify.deadlock_free
+        | Error _ -> false))
+
+(* ------------------------------------------------------------------ *)
 (* Collective schedules partition the pair space                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -482,6 +512,7 @@ let () =
       ("cdg", [ cycle_vs_kahn; resumable_matches_naive ]);
       ("interop", [ sl_dump_matches_layers; ftable_io_random ]);
       ("degradation", [ switch_removal_sound ]);
+      ("fabric", [ fabric_manager_converges ]);
       ("collectives", [ a2a_rounds_partition ]);
       ("multipath", [ multipath_sound ]);
     ]
