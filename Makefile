@@ -1,13 +1,20 @@
-.PHONY: all check test doc clean
+.PHONY: all check test doc clean bench-cdg
 
 all:
 	dune build
 
-# The tier-1 gate: everything compiles and every test suite passes.
+# The tier-1 gate: everything compiles (dev and release profiles) and
+# every test suite passes.
 check:
-	dune build && dune runtest
+	dune build && dune build --profile release && dune runtest
 
 test: check
+
+# Route-store / CSR CDG microbenchmark (DESIGN.md §10). Writes
+# bench_results/route_store.json; fails if the >= 2x build+cycle-breaking
+# speedup or the zero-allocation hot-loop target is missed.
+bench-cdg:
+	dune exec --profile release bench/cdg_bench.exe
 
 doc:
 	dune build @doc

@@ -11,20 +11,19 @@ let is_acyclic cdg =
   while not (Queue.is_empty queue) do
     let c = Queue.take queue in
     incr seen;
-    Array.iter
-      (fun c2 ->
+    Cdg.iter_successors cdg c (fun c2 ->
         indeg.(c2) <- indeg.(c2) - 1;
         if indeg.(c2) = 0 then Queue.add c2 queue)
-      (Cdg.successors cdg c)
   done;
   !seen = m
 
-let layers_acyclic ?(domains = 1) g ~paths ~layer_of_path ~num_layers =
+let layers_acyclic_store ?(domains = 1) store ~layer_of_path ~num_layers =
+  if Array.length layer_of_path <> Route_store.capacity store then
+    invalid_arg "Acyclic.layers_acyclic_store: length mismatch";
+  let check vl = is_acyclic (Cdg.of_store ~filter:(fun pr -> layer_of_path.(pr) = vl) store) in
+  Parallel.for_all ~domains:(min domains num_layers) check (Array.init num_layers Fun.id)
+
+let layers_acyclic ?domains g ~paths ~layer_of_path ~num_layers =
   if Array.length paths <> Array.length layer_of_path then
     invalid_arg "Acyclic.layers_acyclic: length mismatch";
-  let check vl =
-    let cdg = Cdg.create g in
-    Array.iteri (fun i p -> if layer_of_path.(i) = vl then Cdg.add_path cdg ~pair:i p) paths;
-    is_acyclic cdg
-  in
-  Parallel.for_all ~domains:(min domains num_layers) check (Array.init num_layers Fun.id)
+  layers_acyclic_store ?domains (Route_store.of_paths g paths) ~layer_of_path ~num_layers

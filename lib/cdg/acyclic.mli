@@ -6,10 +6,17 @@
     cycle. *)
 val is_acyclic : Cdg.t -> bool
 
-(** [layers_acyclic ?domains g ~paths ~layer_of_path ~num_layers] rebuilds
-    one CDG per layer from scratch and checks each — the end-to-end
-    deadlock-freedom criterion (paper Theorem 1 direction used:
-    acyclic => deadlock-free). Layers are independent; [domains > 1]
-    checks them on that many OCaml domains. *)
+(** [layers_acyclic_store ?domains store ~layer_of_path ~num_layers]
+    builds one CSR CDG per layer from the store ({!Cdg.of_store} with a
+    layer filter) and checks each — the end-to-end deadlock-freedom
+    criterion (paper Theorem 1 direction used: acyclic => deadlock-free).
+    [layer_of_path] is indexed by pair id over the store's capacity;
+    absent pairs carry [-1]. Layers are independent; [domains > 1] checks
+    them on that many OCaml domains. *)
+val layers_acyclic_store :
+  ?domains:int -> Route_store.t -> layer_of_path:int array -> num_layers:int -> bool
+
+(** Array-of-paths convenience form of {!layers_acyclic_store} (path [i]
+    becomes pair id [i]). *)
 val layers_acyclic :
   ?domains:int -> Graph.t -> paths:Path.t array -> layer_of_path:int array -> num_layers:int -> bool

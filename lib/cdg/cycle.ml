@@ -3,10 +3,17 @@ type color =
   | Gray
   | Black
 
+(* A frame walks the CSR base row of [node] by slot index (no per-push
+   successor array), then any overlay successors snapshotted at push
+   time. Liveness is re-checked at consumption either way, so edges
+   removed after the push are skipped. The caller must not compact the
+   CDG while a search is in flight — slot indices would dangle. *)
 type frame = {
   node : int;
-  succs : int array; (* snapshot of successors at push time *)
-  mutable cursor : int;
+  mutable sl : int; (* next base slot to examine *)
+  sl_hi : int;
+  over : int array; (* overlay successors at push time *)
+  mutable oc : int;
 }
 
 type t = {
@@ -26,7 +33,8 @@ let push t node =
   t.color.(node) <- Gray;
   t.stack_pos.(node) <- t.depth;
   t.depth <- t.depth + 1;
-  t.stack <- { node; succs = Cdg.successors t.cdg node; cursor = 0 } :: t.stack
+  let lo, hi = Cdg.slot_range t.cdg node in
+  t.stack <- { node; sl = lo; sl_hi = hi; over = Cdg.overlay_successors t.cdg node; oc = 0 } :: t.stack
 
 let pop t =
   match t.stack with
@@ -51,6 +59,20 @@ let find_cycle t =
   let m = Array.length t.color in
   let result = ref None in
   let running = ref true in
+  (* Examine the live successor [s]; [advance] moves past it. Does not
+     advance on Gray: if the caller breaks the cycle elsewhere, the same
+     back edge must be re-examined; if the caller kills this edge, the
+     liveness check skips it. *)
+  let visit s advance =
+    match t.color.(s) with
+    | Gray ->
+      result := Some (extract_cycle t s);
+      running := false
+    | Black -> advance ()
+    | White ->
+      advance ();
+      push t s
+  in
   while !running do
     match t.stack with
     | [] ->
@@ -58,23 +80,17 @@ let find_cycle t =
       else if t.color.(t.next_root) = White then push t t.next_root
       else t.next_root <- t.next_root + 1
     | f :: _ ->
-      if f.cursor >= Array.length f.succs then pop t
-      else begin
-        let s = f.succs.(f.cursor) in
-        if not (Cdg.live t.cdg ~c1:f.node ~c2:s) then f.cursor <- f.cursor + 1
-        else
-          match t.color.(s) with
-          | Gray ->
-            (* Do not advance the cursor: if the caller breaks the cycle
-               elsewhere, the same back edge must be re-examined; if the
-               caller kills this edge, the liveness check skips it. *)
-            result := Some (extract_cycle t s);
-            running := false
-          | Black -> f.cursor <- f.cursor + 1
-          | White ->
-            f.cursor <- f.cursor + 1;
-            push t s
+      if f.sl < f.sl_hi then begin
+        let sl = f.sl in
+        if not (Cdg.slot_live t.cdg sl) then f.sl <- f.sl + 1
+        else visit (Cdg.slot_col t.cdg sl) (fun () -> f.sl <- f.sl + 1)
       end
+      else if f.oc < Array.length f.over then begin
+        let s = f.over.(f.oc) in
+        if not (Cdg.live t.cdg ~c1:f.node ~c2:s) then f.oc <- f.oc + 1
+        else visit s (fun () -> f.oc <- f.oc + 1)
+      end
+      else pop t
   done;
   !result
 

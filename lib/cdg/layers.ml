@@ -8,10 +8,11 @@ type outcome = {
   cycles_broken : int;
 }
 
-let assign g ~paths ~max_layers ~heuristic =
+let assign_store store ~max_layers ~heuristic =
   if max_layers < 1 then invalid_arg "Layers.assign: max_layers < 1";
-  let n = Array.length paths in
-  let layer_of_path = Array.make n 0 in
+  let g = Route_store.graph store in
+  let layer_of_path = Array.make (Route_store.capacity store) (-1) in
+  Route_store.iter_pairs store (fun pr -> layer_of_path.(pr) <- 0);
   let cycles_broken = ref 0 in
   let cdgs = Array.make max_layers None in
   let cdg i =
@@ -22,12 +23,16 @@ let assign g ~paths ~max_layers ~heuristic =
       cdgs.(i) <- Some c;
       c
   in
-  let first = cdg 0 in
-  Array.iteri (fun i p -> Cdg.add_path first ~pair:i p) paths;
+  cdgs.(0) <- Some (Cdg.of_store store);
   let error = ref None in
   let vl = ref 0 in
   while !error = None && !vl < max_layers && cdgs.(!vl) <> None do
     let current = cdg !vl in
+    (* Layers above 0 were filled through {!Cdg.add_pair}, i.e. the
+       overlay; fold them into a CSR base so the sweep runs on array
+       scans (and {!Cycle}'s slot cursors stay valid: nothing below adds
+       to or compacts [current] while [search] is alive). *)
+    if Cdg.overlay_edges current > 0 then Cdg.compact current;
     let search = Cycle.create current in
     let sweeping = ref true in
     while !sweeping && !error = None do
@@ -41,17 +46,17 @@ let assign g ~paths ~max_layers ~heuristic =
               (Printf.sprintf "cycle remains in layer %d and no layer is left (max %d)" !vl max_layers)
         else begin
           let c1, c2 = Heuristic.choose heuristic current cycle in
-          let movers =
-            List.filter (fun pr -> layer_of_path.(pr) = !vl) (Cdg.edge_pairs current ~c1 ~c2)
-          in
+          (* membership is exact, so every inducing pair lives here; the
+             multiset may repeat a pair, hence the dedup *)
+          let movers = List.sort_uniq compare (Cdg.edge_pairs current ~c1 ~c2) in
           Log.debug (fun m ->
               m "layer %d: cycle of %d edges; evicting edge (%d,%d) with %d routes" !vl
                 (Array.length cycle) c1 c2 (List.length movers));
           let next = cdg (!vl + 1) in
           List.iter
             (fun pr ->
-              Cdg.remove_path current paths.(pr);
-              Cdg.add_path next ~pair:pr paths.(pr);
+              Cdg.remove_pair current store ~pair:pr;
+              Cdg.add_pair next store ~pair:pr;
               layer_of_path.(pr) <- !vl + 1)
             movers;
           Cycle.notify_removed search
@@ -64,19 +69,23 @@ let assign g ~paths ~max_layers ~heuristic =
   | None ->
     let layers_used = 1 + Array.fold_left max 0 layer_of_path in
     Log.info (fun m ->
-        m "assigned %d routes over %d layer(s), breaking %d cycle(s)" n layers_used !cycles_broken);
+        m "assigned %d routes over %d layer(s), breaking %d cycle(s)" (Route_store.num_paths store)
+          layers_used !cycles_broken);
     Ok { layer_of_path; layers_used; cycles_broken = !cycles_broken }
+
+let assign g ~paths ~max_layers ~heuristic =
+  assign_store (Route_store.of_paths g paths) ~max_layers ~heuristic
 
 let balance outcome ~max_layers =
   let used = outcome.layers_used in
-  if max_layers <= used then (Array.copy outcome.layer_of_path, used)
+  let total = Array.fold_left (fun acc l -> if l >= 0 then acc + 1 else acc) 0 outcome.layer_of_path in
+  if max_layers <= used || total = 0 then (Array.copy outcome.layer_of_path, used)
   else begin
-    let n = Array.length outcome.layer_of_path in
     let counts = Array.make used 0 in
-    Array.iter (fun l -> counts.(l) <- counts.(l) + 1) outcome.layer_of_path;
+    Array.iter (fun l -> if l >= 0 then counts.(l) <- counts.(l) + 1) outcome.layer_of_path;
     (* Apportion the max_layers slots to the original layers proportionally
        to their route counts (largest remainder), at least one slot each. *)
-    let total = float_of_int n in
+    let total = float_of_int total in
     let slots = Array.make used 1 in
     let assigned = ref used in
     let quota = Array.init used (fun l -> float_of_int counts.(l) /. total *. float_of_int max_layers) in
@@ -110,9 +119,12 @@ let balance outcome ~max_layers =
     let fresh =
       Array.map
         (fun l ->
-          let slot = seen.(l) mod slots.(l) in
-          seen.(l) <- seen.(l) + 1;
-          base.(l) + slot)
+          if l < 0 then -1
+          else begin
+            let slot = seen.(l) mod slots.(l) in
+            seen.(l) <- seen.(l) + 1;
+            base.(l) + slot
+          end)
         outcome.layer_of_path
     in
     (fresh, max_layers)

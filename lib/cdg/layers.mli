@@ -5,17 +5,25 @@
     the next layer, until every layer is acyclic. *)
 
 type outcome = {
-  layer_of_path : int array;  (** path index -> virtual layer *)
+  layer_of_path : int array;  (** pair id -> virtual layer; -1 for absent pairs *)
   layers_used : int;  (** number of non-empty layers, the paper's VL count *)
   cycles_broken : int;
 }
 
-(** [assign g ~paths ~max_layers ~heuristic] distributes the given routes
-    over at most [max_layers] virtual layers so every layer's CDG is
-    acyclic. Path indices are the caller's route identifiers. Returns
-    [Error] if a cycle survives in the last allowed layer (the fabric then
-    cannot be routed deadlock-free with this budget — the paper's failed
-    configurations). *)
+(** [assign_store store ~max_layers ~heuristic] distributes every present
+    pair of [store] over at most [max_layers] virtual layers so every
+    layer's CDG is acyclic. Layer 0's CDG is built in one CSR pass
+    ({!Cdg.of_store}); evictions move pairs by arena slice, never copying
+    a path. [layer_of_path] is indexed by pair id over the store's full
+    capacity, with [-1] marking absent pairs. Returns [Error] if a cycle
+    survives in the last allowed layer (the fabric then cannot be routed
+    deadlock-free with this budget — the paper's failed configurations). *)
+val assign_store :
+  Route_store.t -> max_layers:int -> heuristic:Heuristic.t -> (outcome, string) result
+
+(** [assign g ~paths ~max_layers ~heuristic] is {!assign_store} over a
+    store holding path [i] under pair id [i] — the array-of-paths
+    convenience entry point ([layer_of_path] then has no [-1]s). *)
 val assign :
   Graph.t ->
   paths:Path.t array ->
@@ -23,11 +31,11 @@ val assign :
   heuristic:Heuristic.t ->
   (outcome, string) result
 
-(** [balance outcome ~paths_per_layer:counts ~max_layers] spreads routes
-    of heavily-populated layers over the unused layers (the tail of
-    Algorithm 2): each unused layer receives a subset of exactly one
-    original layer — subsets of an acyclic edge set stay acyclic, so no
-    new cycle search is needed. Returns the new per-path layer array and
-    the (now larger) number of layers in use; [layers_used] of the
-    original outcome remains the VL requirement to report. *)
+(** [balance outcome ~max_layers] spreads routes of heavily-populated
+    layers over the unused layers (the tail of Algorithm 2): each unused
+    layer receives a subset of exactly one original layer — subsets of an
+    acyclic edge set stay acyclic, so no new cycle search is needed.
+    Absent pairs stay [-1]. Returns the new per-pair layer array and the
+    (now larger) number of layers in use; [layers_used] of the original
+    outcome remains the VL requirement to report. *)
 val balance : outcome -> max_layers:int -> int array * int

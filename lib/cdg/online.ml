@@ -14,7 +14,8 @@ type outcome = {
    anything new, so only 0->1 count transitions are probed (this is what
    keeps LASH tractable on fabrics with millions of routes: distinct
    routes share almost all their dependencies). One DFS from each new
-   edge's head suffices; stamped visit marks avoid reinitialization. *)
+   edge's head suffices; stamped visit marks avoid reinitialization, and
+   the probe walks CSR successor rows without allocating. *)
 let creates_cycle cdg fresh_edges stamp stamps checks =
   let rec probe = function
     | [] -> false
@@ -27,28 +28,23 @@ let creates_cycle cdg fresh_edges stamp stamps checks =
         else if stamps.(c) = !stamp then false
         else begin
           stamps.(c) <- !stamp;
-          Array.exists dfs (Cdg.successors cdg c)
+          Cdg.exists_successor cdg c dfs
         end
       in
       if dfs b then true else probe rest
   in
   probe fresh_edges
 
-let fresh_dependencies cdg path =
-  let n = Array.length path in
-  let rec go i acc =
-    if i >= n - 1 then acc
-    else begin
-      let a = path.(i) and b = path.(i + 1) in
-      if Cdg.live cdg ~c1:a ~c2:b then go (i + 1) acc else go (i + 1) ((a, b) :: acc)
-    end
-  in
-  go 0 []
+let fresh_dependencies cdg store ~pair =
+  let fresh = ref [] in
+  Route_store.iter_deps store ~pair (fun a b ->
+      if not (Cdg.live cdg ~c1:a ~c2:b) then fresh := (a, b) :: !fresh);
+  !fresh
 
-let assign ?(engine = `Dfs) g ~paths ~max_layers =
+let assign_store ?(engine = `Dfs) store ~max_layers =
   if max_layers < 1 then invalid_arg "Online.assign: max_layers < 1";
-  let n = Array.length paths in
-  let layer_of_path = Array.make n 0 in
+  let g = Route_store.graph store in
+  let layer_of_path = Array.make (Route_store.capacity store) (-1) in
   let cdgs = ref [| Cdg.create g |] in
   let pks = ref [| (match engine with `Pk -> Some (Pk_order.create !cdgs.(0)) | `Dfs -> None) |] in
   let stamps = Array.make (Graph.num_channels g) 0 in
@@ -67,8 +63,7 @@ let assign ?(engine = `Dfs) g ~paths ~max_layers =
     in
     go (List.rev fresh)
   in
-  Array.iteri
-    (fun i p ->
+  Route_store.iter_pairs store (fun i ->
       if !error = None then begin
         let placed = ref false in
         let vl = ref 0 in
@@ -84,15 +79,15 @@ let assign ?(engine = `Dfs) g ~paths ~max_layers =
             end;
           if !error = None then begin
             let cdg = !cdgs.(!vl) in
-            let fresh = fresh_dependencies cdg p in
-            Cdg.add_path cdg ~pair:i p;
+            let fresh = fresh_dependencies cdg store ~pair:i in
+            Cdg.add_pair cdg store ~pair:i;
             let rejected =
               match !pks.(!vl) with
               | Some pk -> pk_rejects pk fresh
               | None -> creates_cycle cdg fresh stamp stamps checks
             in
             if rejected then begin
-              Cdg.remove_path cdg p;
+              Cdg.remove_pair cdg store ~pair:i;
               incr vl
             end
             else begin
@@ -101,11 +96,15 @@ let assign ?(engine = `Dfs) g ~paths ~max_layers =
             end
           end
         done
-      end)
-    paths;
+      end);
   match !error with
   | Some msg -> Error msg
   | None ->
     let layers_used = 1 + Array.fold_left max 0 layer_of_path in
-    Log.info (fun m -> m "placed %d routes over %d layer(s) with %d cycle probes" n layers_used !checks);
+    Log.info (fun m ->
+        m "placed %d routes over %d layer(s) with %d cycle probes" (Route_store.num_paths store)
+          layers_used !checks);
     Ok { layer_of_path; layers_used; cycle_checks = !checks }
+
+let assign ?engine g ~paths ~max_layers =
+  assign_store ?engine (Route_store.of_paths g paths) ~max_layers

@@ -5,7 +5,7 @@
     O(|N|^2 (|C|+|E|)) cost the offline algorithm avoids. *)
 
 type outcome = {
-  layer_of_path : int array;
+  layer_of_path : int array;  (** pair id -> virtual layer; -1 for absent pairs *)
   layers_used : int;
   cycle_checks : int;  (** number of cycle probes performed *)
 }
@@ -17,6 +17,16 @@ type outcome = {
       only the affected region between the new edge's endpoints is
       visited, which makes the online variant far cheaper on large
       fabrics. Both engines accept and reject exactly the same paths. *)
+
+(** [assign_store ?engine store ~max_layers] places every present pair of
+    [store] in id order, reading dependencies from arena slices.
+    [layer_of_path] covers the store's full capacity; absent pairs are
+    [-1]. *)
+val assign_store :
+  ?engine:[ `Dfs | `Pk ] -> Route_store.t -> max_layers:int -> (outcome, string) result
+
+(** [assign g ~paths ~max_layers] is {!assign_store} over a store holding
+    path [i] under pair id [i]. *)
 val assign :
   ?engine:[ `Dfs | `Pk ] ->
   Graph.t ->

@@ -37,10 +37,8 @@ let forward t start ~bound ~target acc =
     else begin
       t.visited.(c) <- t.stamp;
       acc := c :: !acc;
-      Array.for_all
-        (fun s ->
+      Cdg.for_all_successors t.cdg c (fun s ->
           if t.ord.(s) <= bound && t.visited.(s) <> t.stamp && traversable t c s then dfs s else true)
-        (Cdg.successors t.cdg c)
     end
   in
   dfs start

@@ -1,0 +1,155 @@
+module Pair = struct
+  type id = int
+
+  let encode ~num_terminals ~src_index ~dst_index =
+    if src_index < 0 || src_index >= num_terminals || dst_index < 0 || dst_index >= num_terminals then
+      invalid_arg "Route_store.Pair.encode: terminal index out of range";
+    (src_index * num_terminals) + dst_index
+
+  let decode ~num_terminals id =
+    if num_terminals < 1 || id < 0 then invalid_arg "Route_store.Pair.decode";
+    (id / num_terminals, id mod num_terminals)
+end
+
+type t = {
+  graph : Graph.t;
+  mutable buf : int array; (* one flat channel arena for every path *)
+  mutable fill : int; (* arena high-water mark *)
+  off : int array; (* pair id -> arena offset *)
+  len : int array; (* pair id -> slice length, -1 = absent *)
+  mutable num_paths : int;
+  mutable building : int; (* pair id being streamed, or -1 *)
+  mutable start : int; (* arena offset where the streamed path began *)
+}
+
+let create graph ~capacity =
+  if capacity < 0 then invalid_arg "Route_store.create: capacity < 0";
+  {
+    graph;
+    buf = Array.make (max 16 (min (4 * capacity) 65536)) 0;
+    fill = 0;
+    off = Array.make capacity 0;
+    len = Array.make capacity (-1);
+    num_paths = 0;
+    building = -1;
+    start = 0;
+  }
+
+let graph t = t.graph
+
+let capacity t = Array.length t.off
+
+let num_paths t = t.num_paths
+
+let check_pair t pair =
+  if pair < 0 || pair >= Array.length t.off then invalid_arg "Route_store: pair id out of range"
+
+let mem t ~pair =
+  check_pair t pair;
+  t.len.(pair) >= 0
+
+let ensure t n =
+  let need = t.fill + n in
+  if need > Array.length t.buf then begin
+    let size = ref (2 * Array.length t.buf) in
+    while !size < need do
+      size := 2 * !size
+    done;
+    let fresh = Array.make !size 0 in
+    Array.blit t.buf 0 fresh 0 t.fill;
+    t.buf <- fresh
+  end
+
+let begin_path t ~pair =
+  if t.building >= 0 then invalid_arg "Route_store.begin_path: a path is already being built";
+  check_pair t pair;
+  if t.len.(pair) >= 0 then begin
+    (* replacing: the old slice stays in the arena but is unreachable *)
+    t.len.(pair) <- -1;
+    t.num_paths <- t.num_paths - 1
+  end;
+  t.building <- pair;
+  t.start <- t.fill
+
+let push t c =
+  if t.building < 0 then invalid_arg "Route_store.push: no path being built";
+  ensure t 1;
+  t.buf.(t.fill) <- c;
+  t.fill <- t.fill + 1
+
+let commit_path t =
+  if t.building < 0 then invalid_arg "Route_store.commit_path: no path being built";
+  let pair = t.building in
+  t.off.(pair) <- t.start;
+  t.len.(pair) <- t.fill - t.start;
+  t.num_paths <- t.num_paths + 1;
+  t.building <- -1
+
+let abort_path t =
+  if t.building < 0 then invalid_arg "Route_store.abort_path: no path being built";
+  t.fill <- t.start;
+  t.building <- -1
+
+let set_path t ~pair p =
+  begin_path t ~pair;
+  let n = Array.length p in
+  ensure t n;
+  Array.blit p 0 t.buf t.fill n;
+  t.fill <- t.fill + n;
+  commit_path t
+
+let remove t ~pair =
+  check_pair t pair;
+  if t.len.(pair) >= 0 then begin
+    t.len.(pair) <- -1;
+    t.num_paths <- t.num_paths - 1
+  end
+
+let absent pair = invalid_arg (Printf.sprintf "Route_store: pair %d has no path" pair)
+
+let length t ~pair =
+  check_pair t pair;
+  let l = t.len.(pair) in
+  if l < 0 then absent pair;
+  l
+
+let offset t ~pair =
+  check_pair t pair;
+  if t.len.(pair) < 0 then absent pair;
+  t.off.(pair)
+
+let get t ~pair i =
+  let l = length t ~pair in
+  if i < 0 || i >= l then invalid_arg "Route_store.get: index out of slice";
+  t.buf.(t.off.(pair) + i)
+
+let buffer t = t.buf
+
+let to_path t ~pair = Array.sub t.buf (offset t ~pair) (length t ~pair)
+
+let iter t ~pair f =
+  let off = offset t ~pair and len = t.len.(pair) in
+  for i = off to off + len - 1 do
+    f t.buf.(i)
+  done
+
+let iter_deps t ~pair f =
+  let off = offset t ~pair and len = t.len.(pair) in
+  for i = off to off + len - 2 do
+    f t.buf.(i) t.buf.(i + 1)
+  done
+
+let iter_pairs t f =
+  for pair = 0 to Array.length t.off - 1 do
+    if t.len.(pair) >= 0 then f pair
+  done
+
+let total_channels t =
+  let total = ref 0 in
+  iter_pairs t (fun pair -> total := !total + t.len.(pair));
+  !total
+
+let of_paths graph paths =
+  let t = create graph ~capacity:(Array.length paths) in
+  Array.iteri (fun i p -> set_path t ~pair:i p) paths;
+  t

@@ -1,0 +1,100 @@
+(** One arena owning every computed path of a routing: a single flat [int]
+    channel buffer plus a per-pair offset/length table. Consumers read
+    paths as O(1) slices of the shared buffer instead of materializing a
+    fresh [int array] per query — the representation every layer of the
+    system (layer assignment, verification, simulation, fabric repair)
+    shares since the dense-route-store refactor (DESIGN.md §10).
+
+    A store is created with a fixed pair capacity; pair identifiers are
+    caller-chosen dense integers in [[0, capacity)]. Routing code derives
+    them from terminal indices via {!Pair}; simulators use flow indices.
+    Replacing a pair's path appends the new slice and abandons the old one
+    (the arena is append-only; it is sized for write-once workloads). *)
+
+module Pair : sig
+  (** Dense pair identifier: [src_index * num_terminals + dst_index] over
+      terminal {e indices} (see {!Routing.Ftable.dst_index}). *)
+  type id = int
+
+  (** @raise Invalid_argument if an index is outside [[0, num_terminals)]. *)
+  val encode : num_terminals:int -> src_index:int -> dst_index:int -> id
+
+  (** [decode ~num_terminals id] is [(src_index, dst_index)]. *)
+  val decode : num_terminals:int -> id -> int * int
+end
+
+type t
+
+(** [create g ~capacity] makes an empty store with [capacity] pair slots,
+    all absent. @raise Invalid_argument if [capacity < 0]. *)
+val create : Graph.t -> capacity:int -> t
+
+(** [of_paths g paths] stores path [i] under pair id [i]. *)
+val of_paths : Graph.t -> Path.t array -> t
+
+val graph : t -> Graph.t
+
+(** Number of pair slots (present or absent). *)
+val capacity : t -> int
+
+(** Number of pairs currently holding a path. *)
+val num_paths : t -> int
+
+(** Whether the pair currently holds a path. *)
+val mem : t -> pair:int -> bool
+
+(** {1 Producing}
+
+    Paths are either written whole with {!set_path} or streamed channel by
+    channel between {!begin_path} and {!commit_path} — the streaming form
+    lets {!Routing.Ftable} walk forwarding tables straight into the arena
+    with no intermediate list. At most one path may be under construction
+    at a time. *)
+
+(** [set_path t ~pair p] copies [p] into the arena (replacing any previous
+    path of [pair]). *)
+val set_path : t -> pair:int -> Path.t -> unit
+
+val begin_path : t -> pair:int -> unit
+val push : t -> int -> unit
+val commit_path : t -> unit
+
+(** Drop the path under construction; the pair is left absent. *)
+val abort_path : t -> unit
+
+(** Mark the pair absent (its arena slice is abandoned). *)
+val remove : t -> pair:int -> unit
+
+(** {1 Reading} *)
+
+(** Slice length of the pair's path.
+    @raise Invalid_argument if the pair is absent. *)
+val length : t -> pair:int -> int
+
+(** Slice offset into {!buffer}.
+    @raise Invalid_argument if the pair is absent. *)
+val offset : t -> pair:int -> int
+
+(** [get t ~pair i] is channel [i] of the pair's path. *)
+val get : t -> pair:int -> int -> int
+
+(** The shared arena. Hot loops index it directly as
+    [buffer.(offset + hop)] — zero allocation per lookup. The array is
+    replaced when the arena grows, so re-fetch it after any write. *)
+val buffer : t -> int array
+
+(** Fresh copy of the pair's path (for consumers that outlive the store). *)
+val to_path : t -> pair:int -> Path.t
+
+(** [iter t ~pair f] calls [f] on each channel of the pair's path. *)
+val iter : t -> pair:int -> (int -> unit) -> unit
+
+(** [iter_deps t ~pair f] calls [f c1 c2] on each consecutive channel pair
+    (the path's CDG dependencies). *)
+val iter_deps : t -> pair:int -> (int -> int -> unit) -> unit
+
+(** [iter_pairs t f] calls [f pair] for every present pair, in id order. *)
+val iter_pairs : t -> (int -> unit) -> unit
+
+(** Total channels over all present paths. *)
+val total_channels : t -> int

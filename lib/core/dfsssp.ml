@@ -2,3 +2,4 @@ include Router
 module Verify = Verify
 module Registry = Registry
 module Multipath = Multipath
+module Route_store = Route_store

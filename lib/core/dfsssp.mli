@@ -14,3 +14,5 @@ module Verify : module type of Verify
 module Registry : module type of Registry
 
 module Multipath : module type of Multipath
+
+module Route_store : module type of Route_store

@@ -9,14 +9,35 @@ let graph t = Routing.Ftable.graph t.planes.(0)
 
 let num_layers t = t.num_layers
 
-let collect_all planes =
-  (* combined (plane, src, dst, path) list, in deterministic order *)
-  let acc = ref [] in
+(* Combined arena over all planes: pair id [plane * nt^2 + si * nt + di],
+   so one joint layer assignment sees every plane's routes. *)
+let combined_store planes =
+  let g = Routing.Ftable.graph planes.(0) in
+  let terminals = Graph.terminals g in
+  let nt = Array.length terminals in
+  let per_plane = nt * nt in
+  let store = Route_store.create g ~capacity:(Array.length planes * per_plane) in
   Array.iteri
     (fun plane ft ->
-      Routing.Ftable.iter_pairs ft (fun ~src ~dst p -> acc := (plane, src, dst, p) :: !acc))
+      Array.iteri
+        (fun si src ->
+          Array.iteri
+            (fun di dst ->
+              if si <> di then
+                let pair = (plane * per_plane) + (si * nt) + di in
+                if not (Routing.Ftable.path_into ft store ~pair ~src ~dst) then
+                  failwith (Printf.sprintf "Multipath: no route %d -> %d in plane %d" src dst plane))
+            terminals)
+        terminals)
     planes;
-  Array.of_list (List.rev !acc)
+  store
+
+let decode_pair planes pair =
+  let terminals = Graph.terminals (Routing.Ftable.graph planes.(0)) in
+  let nt = Array.length terminals in
+  let per_plane = nt * nt in
+  let plane = pair / per_plane and rest = pair mod per_plane in
+  (plane, terminals.(rest / nt), terminals.(rest mod nt))
 
 let route ?(planes = 2) ?(heuristic = Heuristic.Weakest) ?(max_layers = 8) g =
   if planes < 1 then invalid_arg "Multipath.route: planes < 1";
@@ -31,15 +52,14 @@ let route ?(planes = 2) ?(heuristic = Heuristic.Weakest) ?(max_layers = 8) g =
   match build 0 [] with
   | Error _ as e -> e
   | Ok plane_tables -> (
-    let combined = collect_all plane_tables in
-    let paths = Array.map (fun (_, _, _, p) -> p) combined in
-    match Layers.assign g ~paths ~max_layers ~heuristic with
+    let store = combined_store plane_tables in
+    match Layers.assign_store store ~max_layers ~heuristic with
     | Error msg -> Error (Router.Layers_exhausted msg)
     | Ok outcome ->
-      Array.iteri
-        (fun i (plane, src, dst, _) ->
-          Routing.Ftable.set_layer plane_tables.(plane) ~src ~dst outcome.Layers.layer_of_path.(i))
-        combined;
+      Route_store.iter_pairs store (fun pair ->
+          let plane, src, dst = decode_pair plane_tables pair in
+          Routing.Ftable.set_layer plane_tables.(plane) ~src ~dst
+            outcome.Layers.layer_of_path.(pair));
       Array.iter
         (fun ft -> Routing.Ftable.set_num_layers ft outcome.Layers.layers_used)
         plane_tables;
@@ -61,9 +81,9 @@ let spread_paths t ~flows =
     flows
 
 let deadlock_free t =
-  let combined = collect_all t.planes in
-  let paths = Array.map (fun (_, _, _, p) -> p) combined in
-  let layer_of_path =
-    Array.map (fun (plane, src, dst, _) -> Routing.Ftable.layer t.planes.(plane) ~src ~dst) combined
-  in
-  Acyclic.layers_acyclic (graph t) ~paths ~layer_of_path ~num_layers:t.num_layers
+  let store = combined_store t.planes in
+  let layer_of_path = Array.make (Route_store.capacity store) (-1) in
+  Route_store.iter_pairs store (fun pair ->
+      let plane, src, dst = decode_pair t.planes pair in
+      layer_of_path.(pair) <- Routing.Ftable.layer t.planes.(plane) ~src ~dst);
+  Acyclic.layers_acyclic_store store ~layer_of_path ~num_layers:t.num_layers

@@ -1,0 +1,6 @@
+(* Re-export of the route arena at the top-level API, so downstream users
+   (bin/, bench/) reach it as [Dfsssp.Route_store] without depending on
+   the [deadlock] library directly. The ISSUE places the store here; the
+   implementation lives in lib/cdg because the CDG layers sit below
+   routing in the dependency order. *)
+include Deadlock.Route_store

@@ -14,44 +14,38 @@ let error_to_string = function
   | Routing_failed msg -> "dfsssp: routing failed: " ^ msg
   | Layers_exhausted msg -> "dfsssp: virtual layers exhausted: " ^ msg
 
-let collect_paths ft =
-  let paths = ref [] and pairs = ref [] in
-  Routing.Ftable.iter_pairs ft (fun ~src ~dst p ->
-      paths := p :: !paths;
-      pairs := (src, dst) :: !pairs);
-  (Array.of_list (List.rev !paths), Array.of_list (List.rev !pairs))
-
-let apply_layers ft pairs layer_of_path layers_used =
-  Array.iteri
-    (fun i (src, dst) -> Routing.Ftable.set_layer ft ~src ~dst layer_of_path.(i))
-    pairs;
+let apply_layers ft store layer_of_path layers_used =
+  Route_store.iter_pairs store (fun pair ->
+      let src, dst = Routing.Ftable.pair_of_id ft pair in
+      Routing.Ftable.set_layer ft ~src ~dst layer_of_path.(pair));
   Routing.Ftable.set_num_layers ft layers_used
 
 let assign_layers ?(variant = Offline) ?(heuristic = Heuristic.Weakest) ?(max_layers = 8)
     ?(balance = false) ft =
-  let g = Routing.Ftable.graph ft in
-  let paths, pairs = collect_paths ft in
-  let assignment =
-    match variant with
-    | Offline -> (
-      match Layers.assign g ~paths ~max_layers ~heuristic with
-      | Error msg -> Error msg
-      | Ok outcome ->
-        let layer_of_path, layers_in_use =
-          if balance then Layers.balance outcome ~max_layers
-          else (outcome.Layers.layer_of_path, outcome.Layers.layers_used)
-        in
-        Ok (layer_of_path, layers_in_use))
-    | Online -> (
-      match Online.assign g ~paths ~max_layers with
-      | Error msg -> Error msg
-      | Ok outcome -> Ok (outcome.Online.layer_of_path, outcome.Online.layers_used))
-  in
-  match assignment with
-  | Error msg -> Error (Layers_exhausted msg)
-  | Ok (layer_of_path, layers_used) ->
-    apply_layers ft pairs layer_of_path layers_used;
-    Ok ft
+  match Routing.Ftable.to_store ft with
+  | Error msg -> Error (Routing_failed msg)
+  | Ok store -> (
+    let assignment =
+      match variant with
+      | Offline -> (
+        match Layers.assign_store store ~max_layers ~heuristic with
+        | Error msg -> Error msg
+        | Ok outcome ->
+          let layer_of_path, layers_in_use =
+            if balance then Layers.balance outcome ~max_layers
+            else (outcome.Layers.layer_of_path, outcome.Layers.layers_used)
+          in
+          Ok (layer_of_path, layers_in_use))
+      | Online -> (
+        match Online.assign_store store ~max_layers with
+        | Error msg -> Error msg
+        | Ok outcome -> Ok (outcome.Online.layer_of_path, outcome.Online.layers_used))
+    in
+    match assignment with
+    | Error msg -> Error (Layers_exhausted msg)
+    | Ok (layer_of_path, layers_used) ->
+      apply_layers ft store layer_of_path layers_used;
+      Ok ft)
 
 let route ?variant ?heuristic ?max_layers ?balance g =
   match Routing.Sssp.route g with

@@ -5,31 +5,39 @@ type report = {
   deadlock_free : bool;
 }
 
-let collect ft =
-  let paths = ref [] and layers = ref [] in
-  Routing.Ftable.iter_pairs ft (fun ~src ~dst p ->
-      paths := p :: !paths;
-      layers := Routing.Ftable.layer ft ~src ~dst :: !layers);
-  (Array.of_list (List.rev !paths), Array.of_list (List.rev !layers))
+let collect_store ft =
+  match Routing.Ftable.to_store ft with
+  | Error _ as e -> e
+  | Ok store ->
+    let layer_of_path = Array.make (Route_store.capacity store) (-1) in
+    Route_store.iter_pairs store (fun pair ->
+        let src, dst = Routing.Ftable.pair_of_id ft pair in
+        layer_of_path.(pair) <- Routing.Ftable.layer ft ~src ~dst);
+    Ok (store, layer_of_path)
 
 let deadlock_free ?(domains = 1) ft =
-  let paths, layer_of_path = collect ft in
-  let num_layers = 1 + Array.fold_left max 0 layer_of_path in
-  Acyclic.layers_acyclic ~domains (Routing.Ftable.graph ft) ~paths ~layer_of_path ~num_layers
+  match collect_store ft with
+  | Error _ -> false (* some pair unroutable; report this via {!report} *)
+  | Ok (store, layer_of_path) ->
+    let num_layers = 1 + Array.fold_left max 0 layer_of_path in
+    Acyclic.layers_acyclic_store ~domains store ~layer_of_path ~num_layers
 
 let report ft =
   match Routing.Ftable.validate ft with
   | Error _ as e -> e |> Result.map (fun _ -> assert false)
-  | Ok stats ->
-    let _, layer_of_path = collect ft in
-    let max_layer_seen = Array.fold_left max 0 layer_of_path in
-    Ok
-      {
-        stats;
-        num_layers = Routing.Ftable.num_layers ft;
-        max_layer_seen;
-        deadlock_free = deadlock_free ft;
-      }
+  | Ok stats -> (
+    match collect_store ft with
+    | Error _ as e -> e |> Result.map (fun _ -> assert false)
+    | Ok (store, layer_of_path) ->
+      let max_layer_seen = Array.fold_left max 0 layer_of_path in
+      Ok
+        {
+          stats;
+          num_layers = Routing.Ftable.num_layers ft;
+          max_layer_seen;
+          deadlock_free =
+            Acyclic.layers_acyclic_store store ~layer_of_path ~num_layers:(1 + max_layer_seen);
+        })
 
 let pp_report ppf r =
   Format.fprintf ppf "%a layers=%d (max used %d) deadlock_free=%b" Routing.Ftable.pp_stats r.stats

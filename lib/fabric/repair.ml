@@ -38,17 +38,13 @@ type patched = {
 
 (* Same probe as {!Deadlock.Online}: adding a path to an acyclic CDG
    closes a cycle iff some newly-created edge (a, b) gains a route from b
-   back to a. Only 0->1 edge transitions need a DFS. *)
-let fresh_dependencies cdg path =
-  let n = Array.length path in
-  let rec go i acc =
-    if i >= n - 1 then acc
-    else begin
-      let a = path.(i) and b = path.(i + 1) in
-      if Cdg.live cdg ~c1:a ~c2:b then go (i + 1) acc else go (i + 1) ((a, b) :: acc)
-    end
-  in
-  go 0 []
+   back to a. Only 0->1 edge transitions need a DFS. Dependencies are read
+   straight from the pair's arena slice. *)
+let fresh_dependencies cdg store ~pair =
+  let acc = ref [] in
+  Route_store.iter_deps store ~pair (fun a b ->
+      if not (Cdg.live cdg ~c1:a ~c2:b) then acc := (a, b) :: !acc);
+  !acc
 
 let creates_cycle cdg fresh stamp stamps =
   let rec probe = function
@@ -61,7 +57,7 @@ let creates_cycle cdg fresh stamp stamps =
         else if stamps.(c) = !stamp then false
         else begin
           stamps.(c) <- !stamp;
-          Array.exists dfs (Cdg.successors cdg c)
+          Cdg.exists_successor cdg c dfs
         end
       in
       if dfs b then true else probe rest
@@ -105,31 +101,39 @@ let patch ~graph ~old ~dsts ~weights ~layer_budget =
     | Error msg -> Error msg
     | Ok () ->
       (* Layer repair: kept pairs keep their layer; their dependencies
-         seed one CDG per existing layer. Pairs toward repaired
-         destinations are re-placed online into the lowest acyclic layer,
-         opening new layers only within [layer_budget]. *)
-      let cdgs = ref (Array.init base_layers (fun _ -> Cdg.create graph)) in
-      let pair_counter = ref 0 in
+         seed one CSR CDG per existing layer ({!Cdg.of_store} with a
+         layer filter). Pairs toward repaired destinations are re-placed
+         online into the lowest acyclic layer, opening new layers only
+         within [layer_budget]. All routes are first streamed into one
+         arena so both phases read dependencies from flat slices. *)
+      let store = Route_store.create graph ~capacity:(Ftable.num_pairs ft) in
+      let layer_of_pair = Array.make (Ftable.num_pairs ft) (-1) in
       let err = ref None in
       Array.iter
         (fun src ->
           Array.iter
             (fun dst ->
               if src <> dst && (not (Hashtbl.mem repaired dst)) && !err = None then begin
-                match Ftable.path ft ~src ~dst with
-                | None -> err := Some (Printf.sprintf "kept route %d -> %d is broken" src dst)
-                | Some p ->
+                let pair = Ftable.pair_id ft ~src ~dst in
+                if not (Ftable.path_into ft store ~pair ~src ~dst) then
+                  err := Some (Printf.sprintf "kept route %d -> %d is broken" src dst)
+                else
                   let vl = Ftable.layer old ~src ~dst in
-                  if vl >= Array.length !cdgs then
+                  if vl >= base_layers then
                     err := Some (Printf.sprintf "kept route %d -> %d in layer %d >= %d" src dst vl base_layers)
                   else begin
                     Ftable.set_layer ft ~src ~dst vl;
-                    Cdg.add_path !cdgs.(vl) ~pair:!pair_counter p;
-                    incr pair_counter
+                    layer_of_pair.(pair) <- vl
                   end
               end)
             terminals)
         terminals;
+      let cdgs =
+        ref
+          (Array.init base_layers (fun vl ->
+               if !err = None then Cdg.of_store ~filter:(fun pr -> layer_of_pair.(pr) = vl) store
+               else Cdg.create graph))
+      in
       let stamps = Array.make (Graph.num_channels graph) 0 in
       let stamp = ref 0 in
       List.iter
@@ -137,9 +141,10 @@ let patch ~graph ~old ~dsts ~weights ~layer_budget =
           Array.iter
             (fun src ->
               if src <> dst && !err = None then begin
-                match Ftable.path ft ~src ~dst with
-                | None -> err := Some (Printf.sprintf "repaired route %d -> %d is missing" src dst)
-                | Some p ->
+                let pair = Ftable.pair_id ft ~src ~dst in
+                if not (Ftable.path_into ft store ~pair ~src ~dst) then
+                  err := Some (Printf.sprintf "repaired route %d -> %d is missing" src dst)
+                else begin
                   let placed = ref false in
                   let vl = ref 0 in
                   while (not !placed) && !err = None do
@@ -153,11 +158,10 @@ let patch ~graph ~old ~dsts ~weights ~layer_budget =
                     end;
                     if !err = None then begin
                       let cdg = !cdgs.(!vl) in
-                      let fresh = fresh_dependencies cdg p in
-                      Cdg.add_path cdg ~pair:!pair_counter p;
-                      incr pair_counter;
+                      let fresh = fresh_dependencies cdg store ~pair in
+                      Cdg.add_pair cdg store ~pair;
                       if creates_cycle cdg fresh stamp stamps then begin
-                        Cdg.remove_path cdg p;
+                        Cdg.remove_pair cdg store ~pair;
                         incr vl
                       end
                       else begin
@@ -166,6 +170,7 @@ let patch ~graph ~old ~dsts ~weights ~layer_budget =
                       end
                     end
                   done
+                end
               end)
             terminals)
         dsts;

@@ -137,24 +137,24 @@ let online_engines ?(max_endpoints = 512) () =
         let g = Tableone.tree_graph r in
         match Routing.Sssp.route g with
         | Error _ -> [ Report.Int r.Tableone.endpoints ]
-        | Ok ft ->
-          let paths = ref [] in
-          Ftable.iter_pairs ft (fun ~src:_ ~dst:_ p -> paths := p :: !paths);
-          let paths = Array.of_list !paths in
+        | Ok ft -> (
+          match Ftable.to_store ft with
+          | Error _ -> [ Report.Int r.Tableone.endpoints ]
+          | Ok store ->
           let time f =
             let dt, outcome = Runs.timed f in
             match outcome with
             | Ok _ -> Report.Time dt
             | Error _ -> Report.Missing
           in
-          let online engine () = Online.assign ~engine g ~paths ~max_layers:16 in
-          let offline () = Layers.assign g ~paths ~max_layers:16 ~heuristic:Heuristic.Weakest in
+          let online engine () = Online.assign_store ~engine store ~max_layers:16 in
+          let offline () = Layers.assign_store store ~max_layers:16 ~heuristic:Heuristic.Weakest in
           [
             Report.Int r.Tableone.endpoints;
             time (online `Dfs);
             time (online `Pk);
             time offline;
-          ])
+          ]))
       (Tableone.rows_up_to max_endpoints)
   in
   {
@@ -373,29 +373,28 @@ let complexity ?(max_endpoints = 512) () =
         let g = Tableone.tree_graph r in
         match Routing.Sssp.route g with
         | Error _ -> None
-        | Ok ft ->
-          let paths = ref [] in
-          Ftable.iter_pairs ft (fun ~src:_ ~dst:_ p -> paths := p :: !paths);
-          let paths = Array.of_list !paths in
-          (* CDG size of the full (single-layer) dependency graph *)
-          let cdg = Cdg.create g in
-          Array.iteri (fun i p -> Cdg.add_path cdg ~pair:i p) paths;
-          let dt, outcome =
-            Runs.timed (fun () -> Layers.assign g ~paths ~max_layers:16 ~heuristic:Heuristic.Weakest)
-          in
-          (match outcome with
+        | Ok ft -> (
+          match Ftable.to_store ft with
           | Error _ -> None
-          | Ok o ->
-            Some
-              [
-                Report.Int r.Tableone.endpoints;
-                Report.Int (Graph.num_channels g);
-                Report.Int (Cdg.num_edges cdg);
-                Report.Int (Array.length paths);
-                Report.Int o.Layers.layers_used;
-                Report.Int o.Layers.cycles_broken;
-                Report.Time dt;
-              ]))
+          | Ok store ->
+            (* CDG size of the full (single-layer) dependency graph *)
+            let cdg = Cdg.of_store store in
+            let dt, outcome =
+              Runs.timed (fun () -> Layers.assign_store store ~max_layers:16 ~heuristic:Heuristic.Weakest)
+            in
+            (match outcome with
+            | Error _ -> None
+            | Ok o ->
+              Some
+                [
+                  Report.Int r.Tableone.endpoints;
+                  Report.Int (Graph.num_channels g);
+                  Report.Int (Cdg.num_edges cdg);
+                  Report.Int (Route_store.num_paths store);
+                  Report.Int o.Layers.layers_used;
+                  Report.Int o.Layers.cycles_broken;
+                  Report.Time dt;
+                ])))
       (Tableone.rows_up_to max_endpoints)
   in
   {

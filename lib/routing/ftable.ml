@@ -35,14 +35,20 @@ let next t ~node ~dst =
   let c = t.next.(node).(dst_index t dst) in
   if c < 0 then None else Some c
 
+(* A loop-free walk visits distinct nodes, so it takes at most
+   num_nodes - 1 hops; the destination test precedes the bound test, so a
+   Hamiltonian-length route still resolves while hop num_nodes proves a
+   forwarding loop. *)
+let hop_limit t = Graph.num_nodes t.graph - 1
+
 let path t ~src ~dst =
   if src = dst then Some [||]
   else begin
     let di = dst_index t dst in
-    let limit = Graph.num_nodes t.graph in
+    let limit = hop_limit t in
     let rec follow node acc steps =
       if node = dst then Some (Array.of_list (List.rev acc))
-      else if steps > limit then None (* forwarding loop *)
+      else if steps >= limit then None (* forwarding loop *)
       else
         let c = t.next.(node).(di) in
         if c < 0 then None
@@ -50,6 +56,71 @@ let path t ~src ~dst =
     in
     follow src [] 0
   end
+
+let num_pairs t =
+  let nt = Graph.num_terminals t.graph in
+  nt * nt
+
+let pair_id t ~src ~dst =
+  let nt = Graph.num_terminals t.graph in
+  Route_store.Pair.encode ~num_terminals:nt ~src_index:(dst_index t src) ~dst_index:(dst_index t dst)
+
+let pair_of_id t id =
+  let terminals = Graph.terminals t.graph in
+  let si, di = Route_store.Pair.decode ~num_terminals:(Array.length terminals) id in
+  (terminals.(si), terminals.(di))
+
+let path_into t store ~pair ~src ~dst =
+  if src = dst then begin
+    Route_store.set_path store ~pair [||];
+    true
+  end
+  else begin
+    let di = dst_index t dst in
+    let limit = hop_limit t in
+    Route_store.begin_path store ~pair;
+    let rec follow node steps =
+      if node = dst then begin
+        Route_store.commit_path store;
+        true
+      end
+      else if steps >= limit then begin
+        Route_store.abort_path store;
+        false
+      end
+      else
+        let c = t.next.(node).(di) in
+        if c < 0 then begin
+          Route_store.abort_path store;
+          false
+        end
+        else begin
+          Route_store.push store c;
+          follow (Graph.channel t.graph c).Channel.dst (steps + 1)
+        end
+    in
+    follow src 0
+  end
+
+let to_store t =
+  let terminals = Graph.terminals t.graph in
+  let nt = Array.length terminals in
+  let store = Route_store.create t.graph ~capacity:(nt * nt) in
+  let failure = ref None in
+  Array.iteri
+    (fun si src ->
+      if !failure = None then
+        Array.iteri
+          (fun di dst ->
+            if si <> di && !failure = None then
+              let pair = (si * nt) + di in
+              if not (path_into t store ~pair ~src ~dst) then
+                failure := Some (Printf.sprintf "no loop-free route %d -> %d" src dst))
+          terminals)
+    terminals;
+  match !failure with
+  | Some msg -> Error msg
+  | None -> Ok store
 
 let iter_pairs t f =
   let terminals = Graph.terminals t.graph in

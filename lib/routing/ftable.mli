@@ -30,9 +30,38 @@ val set_next : t -> node:int -> dst:int -> channel:int -> unit
 val next : t -> node:int -> dst:int -> int option
 
 (** [path t ~src ~dst] follows the table from terminal [src] to terminal
-    [dst]. [None] if an entry is missing or a forwarding loop is hit.
-    [Some [||]] iff [src = dst]. *)
+    [dst]. [None] if an entry is missing or a forwarding loop is hit
+    (a loop-free walk takes at most [num_nodes - 1] hops; reaching that
+    bound without arriving proves a loop). [Some [||]] iff [src = dst]. *)
 val path : t -> src:int -> dst:int -> Path.t option
+
+(** {1 Route-store integration}
+
+    The canonical pair-id scheme for a forwarding table is
+    [src_index * num_terminals + dst_index] over the graph's dense
+    terminal indices — the encoding of {!Deadlock.Route_store.Pair}. *)
+
+(** [num_pairs t] is [num_terminals ^ 2], the store capacity covering
+    every ordered pair (diagonal included but left absent). *)
+val num_pairs : t -> int
+
+(** [pair_id t ~src ~dst] is the pair id of two terminal node ids. *)
+val pair_id : t -> src:int -> dst:int -> int
+
+(** [pair_of_id t id] decodes a pair id back to terminal node ids. *)
+val pair_of_id : t -> int -> int * int
+
+(** [path_into t store ~pair ~src ~dst] streams the forwarding walk for
+    [src -> dst] directly into [store] under [pair] — no intermediate
+    path array. Returns [false] (store unchanged for that pair) if an
+    entry is missing or a loop is hit. [src = dst] stores the empty
+    path. *)
+val path_into : t -> Deadlock.Route_store.t -> pair:int -> src:int -> dst:int -> bool
+
+(** [to_store t] walks every ordered pair of distinct terminals into a
+    fresh arena of capacity {!num_pairs}, pair ids as above. [Error]
+    names the first pair with no loop-free route. *)
+val to_store : t -> (Deadlock.Route_store.t, string) result
 
 (** [iter_pairs t f] calls [f ~src ~dst path] for every ordered pair of
     distinct terminals, in a deterministic order.

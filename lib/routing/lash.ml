@@ -42,18 +42,15 @@ let plain_minhop g =
 let route ?(max_layers = 16) g =
   match plain_minhop g with
   | Error msg -> Error ("lash: " ^ msg)
-  | Ok ft ->
-    let paths = ref [] and pairs = ref [] in
-    Ftable.iter_pairs ft (fun ~src ~dst p ->
-        paths := p :: !paths;
-        pairs := (src, dst) :: !pairs);
-    let paths = Array.of_list (List.rev !paths) in
-    let pairs = Array.of_list (List.rev !pairs) in
-    (match Online.assign g ~paths ~max_layers with
+  | Ok ft -> (
+    match Ftable.to_store ft with
     | Error msg -> Error ("lash: " ^ msg)
-    | Ok outcome ->
-      Array.iteri
-        (fun i (src, dst) -> Ftable.set_layer ft ~src ~dst outcome.Online.layer_of_path.(i))
-        pairs;
-      Ftable.set_num_layers ft outcome.Online.layers_used;
-      Ok ft)
+    | Ok store -> (
+      match Online.assign_store store ~max_layers with
+      | Error msg -> Error ("lash: " ^ msg)
+      | Ok outcome ->
+        Route_store.iter_pairs store (fun pair ->
+            let src, dst = Ftable.pair_of_id ft pair in
+            Ftable.set_layer ft ~src ~dst outcome.Online.layer_of_path.(pair));
+        Ftable.set_num_layers ft outcome.Online.layers_used;
+        Ok ft))

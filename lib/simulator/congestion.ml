@@ -25,19 +25,44 @@ let evaluate_paths g ~paths =
   in
   { flows = n; channel_load = load; max_congestion; mean_share; min_share; completion }
 
+let evaluate_store store =
+  let g = Deadlock.Route_store.graph store in
+  let load = Array.make (Netgraph.Graph.num_channels g) 0 in
+  Deadlock.Route_store.iter_pairs store (fun pair ->
+      Deadlock.Route_store.iter store ~pair (fun c -> load.(c) <- load.(c) + 1));
+  let max_congestion = Array.fold_left max 0 load in
+  let n = ref 0 and sum = ref 0.0 and min_share = ref 1.0 in
+  Deadlock.Route_store.iter_pairs store (fun pair ->
+      if Deadlock.Route_store.length store ~pair > 0 then begin
+        (* bottleneck load floors at 1, as in [evaluate_paths] *)
+        let worst = ref 1 in
+        Deadlock.Route_store.iter store ~pair (fun c ->
+            if load.(c) > !worst then worst := load.(c));
+        let share = 1.0 /. float_of_int !worst in
+        incr n;
+        sum := !sum +. share;
+        if share < !min_share then min_share := share
+      end);
+  let flows = !n in
+  {
+    flows;
+    channel_load = load;
+    max_congestion;
+    mean_share = (if flows = 0 then 1.0 else !sum /. float_of_int flows);
+    min_share = !min_share;
+    completion = (if flows = 0 then 0.0 else 1.0 /. !min_share);
+  }
+
 let evaluate ft ~flows =
   let g = Ftable.graph ft in
-  let paths =
-    Array.map
-      (fun (src, dst) ->
-        if src = dst then [||]
-        else
-          match Ftable.path ft ~src ~dst with
-          | Some p -> p
-          | None -> failwith (Printf.sprintf "Congestion.evaluate: no route %d -> %d" src dst))
-      flows
-  in
-  evaluate_paths g ~paths
+  let store = Deadlock.Route_store.create g ~capacity:(Array.length flows) in
+  Array.iteri
+    (fun f (src, dst) ->
+      if src = dst then Deadlock.Route_store.set_path store ~pair:f [||]
+      else if not (Ftable.path_into ft store ~pair:f ~src ~dst) then
+        failwith (Printf.sprintf "Congestion.evaluate: no route %d -> %d" src dst))
+    flows;
+  evaluate_store store
 
 type ebb = {
   samples : Metrics.summary;

@@ -30,16 +30,21 @@ let run ?(config = default_config) ft ~flows =
   if config.num_vls < 1 then invalid_arg "Flitsim.run: num_vls < 1";
   let g = Ftable.graph ft in
   let m = Netgraph.Graph.num_channels g in
-  let paths =
-    Array.map
-      (fun (src, dst, packets) ->
-        if src = dst then invalid_arg "Flitsim.run: flow with src = dst";
-        if packets < 0 then invalid_arg "Flitsim.run: negative packet count";
-        match Ftable.path ft ~src ~dst with
-        | Some p -> p
-        | None -> failwith (Printf.sprintf "Flitsim.run: no route %d -> %d" src dst))
-      flows
-  in
+  let nflows = Array.length flows in
+  (* Per-flow arena slices (pair id = flow index); the cycle loop reads
+     channels by flat index with zero per-hop allocation. *)
+  let store = Deadlock.Route_store.create g ~capacity:nflows in
+  Array.iteri
+    (fun f (src, dst, packets) ->
+      if src = dst then invalid_arg "Flitsim.run: flow with src = dst";
+      if packets < 0 then invalid_arg "Flitsim.run: negative packet count";
+      if not (Ftable.path_into ft store ~pair:f ~src ~dst) then
+        failwith (Printf.sprintf "Flitsim.run: no route %d -> %d" src dst))
+    flows;
+  let poff = Array.init nflows (fun f -> Deadlock.Route_store.offset store ~pair:f) in
+  (* fetched after the last write: arena growth replaces the buffer *)
+  let pbuf = Deadlock.Route_store.buffer store in
+  let channel_at f hop = pbuf.(poff.(f) + hop) in
   let vls =
     Array.map
       (fun (src, dst, _) ->
@@ -60,7 +65,6 @@ let run ?(config = default_config) ft ~flows =
   let in_flight = ref 0 in
   let waiting = ref total in
   let cycle = ref 0 in
-  let nflows = Array.length flows in
   let result = ref None in
   let is_sink c = Netgraph.Graph.is_terminal g (Netgraph.Graph.channel g c).Netgraph.Channel.dst in
   while !result = None do
@@ -97,8 +101,7 @@ let run ?(config = default_config) ft ~flows =
         if not (Queue.is_empty q) then begin
           let p = Queue.peek q in
           if p.moved_at < !cycle then begin
-            let path = paths.(p.flow) in
-            let next_c = path.(p.hop + 1) in
+            let next_c = channel_at p.flow (p.hop + 1) in
             if is_sink next_c then begin
               if not channel_granted.(next_c) then begin
                 let p = Queue.pop q in
@@ -139,7 +142,7 @@ let run ?(config = default_config) ft ~flows =
       for i = 0 to nflows - 1 do
         let f = (i + !cycle) mod nflows in
         if remaining.(f) > 0 then begin
-          let first = paths.(f).(0) in
+          let first = channel_at f 0 in
           let vl = vls.(f) in
           if
             (not channel_granted.(first))

@@ -53,16 +53,23 @@ let run ?(config = default_config) ft ~flows =
   if config.num_vls < 1 then invalid_arg "Netsim.run: num_vls < 1";
   let g = Ftable.graph ft in
   let m = Netgraph.Graph.num_channels g in
-  let paths =
-    Array.map
-      (fun (src, dst, bytes) ->
-        if src = dst then invalid_arg "Netsim.run: flow with src = dst";
-        if bytes < 0 then invalid_arg "Netsim.run: negative flow size";
-        match Ftable.path ft ~src ~dst with
-        | Some p -> p
-        | None -> failwith (Printf.sprintf "Netsim.run: no route %d -> %d" src dst))
-      flows
-  in
+  let nflows = Array.length flows in
+  (* One arena slice per flow (pair id = flow index): the hot loop below
+     indexes channels straight out of the flat buffer, never materialising
+     a per-packet path. *)
+  let store = Deadlock.Route_store.create g ~capacity:nflows in
+  Array.iteri
+    (fun f (src, dst, bytes) ->
+      if src = dst then invalid_arg "Netsim.run: flow with src = dst";
+      if bytes < 0 then invalid_arg "Netsim.run: negative flow size";
+      if not (Ftable.path_into ft store ~pair:f ~src ~dst) then
+        failwith (Printf.sprintf "Netsim.run: no route %d -> %d" src dst))
+    flows;
+  let poff = Array.init nflows (fun f -> Deadlock.Route_store.offset store ~pair:f) in
+  let plen = Array.init nflows (fun f -> Deadlock.Route_store.length store ~pair:f) in
+  (* fetched after the last write: arena growth replaces the buffer *)
+  let pbuf = Deadlock.Route_store.buffer store in
+  let channel_at f hop = pbuf.(poff.(f) + hop) in
   let vls =
     Array.map
       (fun (src, dst, _) ->
@@ -78,7 +85,6 @@ let run ?(config = default_config) ft ~flows =
   let waiting = Array.init m (fun _ -> Array.init config.num_vls (fun _ -> Queue.create ())) in
   let credits = Array.make_matrix m config.num_vls config.credits in
   (* flow state *)
-  let nflows = Array.length flows in
   let first_start = Array.make nflows infinity in
   let last_finish = Array.make nflows 0.0 in
   let pending_packets = Array.make nflows 0 in
@@ -99,10 +105,10 @@ let run ?(config = default_config) ft ~flows =
       total_packets := !total_packets + count;
       for i = 0 to count - 1 do
         let size = if i < full then config.mtu else rest in
-        Queue.push { flow = f; size; hop = 0; born = -1.0 } waiting.(paths.(f).(0)).(vls.(f))
+        Queue.push { flow = f; size; hop = 0; born = -1.0 } waiting.(channel_at f 0).(vls.(f))
       done)
     flows;
-  let is_last p = p.hop = Array.length paths.(p.flow) - 1 in
+  let is_last p = p.hop = plen.(p.flow) - 1 in
   (* Attempt to start a transmission on channel [c] at time [now]. *)
   let try_start now c =
     if not wire_busy.(c) then begin
@@ -126,7 +132,7 @@ let run ?(config = default_config) ft ~flows =
         end;
         (* leaving the upstream buffer returns its credit *)
         if p.hop > 0 then begin
-          let prev = paths.(p.flow).(p.hop - 1) in
+          let prev = channel_at p.flow (p.hop - 1) in
           Eventq.schedule events ~at:(now +. config.latency) (Credit (prev, vl))
         end;
         let tx = float_of_int (max p.size 1) /. config.bandwidth in
@@ -143,7 +149,7 @@ let run ?(config = default_config) ft ~flows =
       credits.(c).(vl) <- credits.(c).(vl) + 1;
       try_start now c
     | Arrived p ->
-      let c = paths.(p.flow).(p.hop) in
+      let c = channel_at p.flow p.hop in
       let vl = vls.(p.flow) in
       if is_last p then begin
         (* delivered: the HCA consumes instantly, buffer slot frees *)
@@ -156,8 +162,9 @@ let run ?(config = default_config) ft ~flows =
       end
       else begin
         p.hop <- p.hop + 1;
-        Queue.push p waiting.(paths.(p.flow).(p.hop)).(vl);
-        try_start now paths.(p.flow).(p.hop)
+        let nc = channel_at p.flow p.hop in
+        Queue.push p waiting.(nc).(vl);
+        try_start now nc
       end
   in
   (* prime every injection wire *)

@@ -46,13 +46,13 @@ let test_cdg_add_remove () =
   Alcotest.(check bool) "edge live" true (Cdg.live cdg ~c1:p.(1) ~c2:p.(2));
   check Alcotest.int "edge count" 1 (Cdg.edge_count cdg ~c1:p.(1) ~c2:p.(2));
   check Alcotest.(list int) "edge pairs" [ 0 ] (Cdg.edge_pairs cdg ~c1:p.(1) ~c2:p.(2));
-  Cdg.remove_path cdg p;
+  Cdg.remove_path cdg ~pair:0 p;
   check Alcotest.int "paths after remove" 4 (Cdg.num_paths cdg);
   Alcotest.(check bool) "edge dead" false (Cdg.live cdg ~c1:p.(1) ~c2:p.(2));
   check Alcotest.int "dead edge count" 0 (Cdg.edge_count cdg ~c1:p.(1) ~c2:p.(2));
   check Alcotest.(list int) "dead edge pairs" [] (Cdg.edge_pairs cdg ~c1:p.(1) ~c2:p.(2));
   Alcotest.check_raises "double remove" (Invalid_argument "Cdg.remove_path: edge not present")
-    (fun () -> Cdg.remove_path cdg p)
+    (fun () -> Cdg.remove_path cdg ~pair:0 p)
 
 let test_cdg_shared_edges () =
   let g, _ = ring_fixture 5 in
@@ -68,9 +68,94 @@ let test_cdg_shared_edges () =
   check Alcotest.int "count 2" 2 (Cdg.edge_count cdg ~c1:paths.(0).(0) ~c2:paths.(0).(1));
   let prs = List.sort compare (Cdg.edge_pairs cdg ~c1:paths.(0).(0) ~c2:paths.(0).(1)) in
   check Alcotest.(list int) "both pairs" [ 0; 1 ] prs;
-  Cdg.remove_path cdg paths.(0);
+  Cdg.remove_path cdg ~pair:0 paths.(0);
   Alcotest.(check bool) "still live" true (Cdg.live cdg ~c1:paths.(0).(0) ~c2:paths.(0).(1));
   check Alcotest.int "count 1" 1 (Cdg.edge_count cdg ~c1:paths.(0).(0) ~c2:paths.(0).(1))
+
+(* Regression for the stale-pair leak: edge_pairs must reflect exact live
+   membership across add -> remove -> add churn on a shared edge. *)
+let test_cdg_add_remove_add_membership () =
+  let g, paths = ring_fixture 5 in
+  let cdg = Cdg.create g in
+  let p = paths.(0) in
+  Cdg.add_path cdg ~pair:7 p;
+  Cdg.add_path cdg ~pair:8 p;
+  Cdg.remove_path cdg ~pair:7 p;
+  check Alcotest.(list int) "after remove" [ 8 ] (Cdg.edge_pairs cdg ~c1:p.(0) ~c2:p.(1));
+  Cdg.add_path cdg ~pair:7 p;
+  check Alcotest.(list int) "after re-add" [ 7; 8 ]
+    (List.sort compare (Cdg.edge_pairs cdg ~c1:p.(0) ~c2:p.(1)));
+  Cdg.remove_path cdg ~pair:8 p;
+  check Alcotest.(list int) "exact membership" [ 7 ] (Cdg.edge_pairs cdg ~c1:p.(0) ~c2:p.(1));
+  check Alcotest.int "count tracks membership" 1 (Cdg.edge_count cdg ~c1:p.(0) ~c2:p.(1));
+  Alcotest.check_raises "wrong pair" (Invalid_argument "Cdg.remove_path: pair not on edge")
+    (fun () -> Cdg.remove_path cdg ~pair:42 p)
+
+let test_route_store_basics () =
+  let g, paths = ring_fixture 5 in
+  let store = Route_store.create g ~capacity:8 in
+  check Alcotest.int "capacity" 8 (Route_store.capacity store);
+  Alcotest.(check bool) "absent" false (Route_store.mem store ~pair:3);
+  Route_store.set_path store ~pair:3 paths.(0);
+  Alcotest.(check bool) "present" true (Route_store.mem store ~pair:3);
+  check Alcotest.int "length" (Array.length paths.(0)) (Route_store.length store ~pair:3);
+  check Alcotest.(array int) "round trip" paths.(0) (Route_store.to_path store ~pair:3);
+  (* streaming producer protocol *)
+  Route_store.begin_path store ~pair:4;
+  Array.iter (Route_store.push store) paths.(1);
+  Route_store.commit_path store;
+  check Alcotest.(array int) "streamed" paths.(1) (Route_store.to_path store ~pair:4);
+  Route_store.begin_path store ~pair:5;
+  Route_store.push store paths.(2).(0);
+  Route_store.abort_path store;
+  Alcotest.(check bool) "aborted absent" false (Route_store.mem store ~pair:5);
+  (* overwrite, then remove *)
+  Route_store.set_path store ~pair:3 paths.(2);
+  check Alcotest.(array int) "overwritten" paths.(2) (Route_store.to_path store ~pair:3);
+  check Alcotest.int "num_paths" 2 (Route_store.num_paths store);
+  Route_store.remove store ~pair:3;
+  Alcotest.(check bool) "removed" false (Route_store.mem store ~pair:3);
+  check Alcotest.int "num_paths after remove" 1 (Route_store.num_paths store);
+  Alcotest.check_raises "length of absent pair" (Invalid_argument "Route_store: pair 3 has no path")
+    (fun () -> ignore (Route_store.length store ~pair:3));
+  (* arena growth must not corrupt earlier slices *)
+  let store2 = Route_store.create g ~capacity:4096 in
+  for i = 0 to 4095 do
+    Route_store.set_path store2 ~pair:i paths.(i mod 5)
+  done;
+  let ok = ref true in
+  for i = 0 to 4095 do
+    if Route_store.to_path store2 ~pair:i <> paths.(i mod 5) then ok := false
+  done;
+  Alcotest.(check bool) "slices survive growth" true !ok;
+  let deps = ref 0 in
+  Route_store.iter_deps store2 ~pair:0 (fun _ _ -> incr deps);
+  check Alcotest.int "dep count" (Array.length paths.(0) - 1) !deps
+
+let test_cdg_of_store_and_compact () =
+  let g, paths = ring_fixture 5 in
+  let store = Route_store.of_paths g paths in
+  let csr = Cdg.of_store store in
+  check Alcotest.int "edges" 15 (Cdg.num_edges csr);
+  check Alcotest.int "paths" 5 (Cdg.num_paths csr);
+  (* churn: remove two paths, re-add one, then compact back to pure CSR *)
+  Cdg.remove_path csr ~pair:1 paths.(1);
+  Cdg.remove_path csr ~pair:2 paths.(2);
+  Cdg.add_path csr ~pair:2 paths.(2);
+  Cdg.compact csr;
+  check Alcotest.int "overlay drained" 0 (Cdg.overlay_edges csr);
+  let reference = Cdg.create g in
+  Array.iteri (fun i p -> if i <> 1 then Cdg.add_path reference ~pair:i p) paths;
+  check Alcotest.int "edges agree" (Cdg.num_edges reference) (Cdg.num_edges csr);
+  Cdg.iter_edges reference (fun c1 c2 count ->
+      check Alcotest.int "count agrees" count (Cdg.edge_count csr ~c1 ~c2);
+      check Alcotest.(list int) "pairs agree"
+        (List.sort compare (Cdg.edge_pairs reference ~c1 ~c2))
+        (List.sort compare (Cdg.edge_pairs csr ~c1 ~c2)));
+  (* a filtered build sees only the selected pairs *)
+  let only0 = Cdg.of_store ~filter:(fun pr -> pr = 0) store in
+  check Alcotest.int "filtered paths" 1 (Cdg.num_paths only0);
+  check Alcotest.int "filtered edges" 3 (Cdg.num_edges only0)
 
 let test_cdg_successors () =
   let g, paths = ring_fixture 5 in
@@ -120,7 +205,7 @@ let test_cycle_finds_and_resumes () =
     (* break it: remove the paths of the first cycle edge *)
     let a, b = cycle.(0) in
     let movers = Cdg.edge_pairs cdg ~c1:a ~c2:b in
-    List.iter (fun pr -> Cdg.remove_path cdg paths.(pr)) movers;
+    List.iter (fun pr -> Cdg.remove_path cdg ~pair:pr paths.(pr)) movers;
     Cycle.notify_removed search);
   (* the ring has exactly one switch-level cycle; breaking one edge of the
      5-cycle leaves the rest acyclic *)
@@ -317,7 +402,7 @@ let test_pk_accepts_and_rejects () =
   let fake = [| p.(2); p.(0) |] in
   Cdg.add_path cdg ~pair:99 fake;
   Alcotest.(check bool) "cycle rejected" false (Pk_order.insert pk ~c1:p.(2) ~c2:p.(0));
-  Cdg.remove_path cdg fake;
+  Cdg.remove_path cdg ~pair:99 fake;
   Alcotest.(check bool) "order still consistent" true (Pk_order.consistent pk);
   Alcotest.(check bool) "self edge rejected" false (Pk_order.insert pk ~c1:p.(0) ~c2:p.(0))
 
@@ -369,7 +454,7 @@ let pk_order_invariant_qcheck =
               (* rejected: removing it must leave an acyclic CDG, and
                  keeping it would have been cyclic *)
               if Acyclic.is_acyclic cdg then ok := false;
-              Cdg.remove_path cdg fake
+              Cdg.remove_path cdg ~pair:0 fake
             end;
             if not (Pk_order.consistent pk) then ok := false
           end
@@ -509,9 +594,12 @@ let () =
       ( "cdg",
         [
           Alcotest.test_case "add/remove" `Quick test_cdg_add_remove;
+          Alcotest.test_case "add/remove/add membership" `Quick test_cdg_add_remove_add_membership;
           Alcotest.test_case "shared edges" `Quick test_cdg_shared_edges;
           Alcotest.test_case "successors" `Quick test_cdg_successors;
+          Alcotest.test_case "of_store and compact" `Quick test_cdg_of_store_and_compact;
         ] );
+      ("route_store", [ Alcotest.test_case "basics" `Quick test_route_store_basics ]);
       ( "cycle",
         [
           Alcotest.test_case "kahn detects" `Quick test_acyclic_detects;

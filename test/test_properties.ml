@@ -269,6 +269,94 @@ let cycle_vs_kahn =
       found = not (Deadlock.Acyclic.is_acyclic cdg))
 
 (* ------------------------------------------------------------------ *)
+(* CSR CDG vs the naive Hashtbl reference                               *)
+(* ------------------------------------------------------------------ *)
+
+let cdg_matches_reference =
+  qtest ~count:24 "CSR CDG agrees with the Hashtbl reference" seed_gen (fun seed ->
+      let rng = Rng.create seed in
+      let g =
+        match seed mod 3 with
+        | 0 -> Topo_ring.make ~switches:(4 + Rng.int rng 4) ~terminals_per_switch:1
+        | 1 ->
+          fst
+            (Topo_torus.torus
+               ~dims:[| 3 + Rng.int rng 2; 3 + Rng.int rng 2 |]
+               ~terminals_per_switch:1)
+        | _ -> Topo_xgft.make ~ms:[| 3; 3 |] ~ws:[| 2; 2 |] ~endpoints:(9 + Rng.int rng 10)
+      in
+      match Routing.Sssp.route g with
+      | Error _ -> false
+      | Ok ft -> (
+        match Routing.Ftable.to_store ft with
+        | Error _ -> false
+        | Ok store ->
+          let csr = Deadlock.Cdg.of_store store in
+          let rc = Deadlock.Cdg_ref.create g in
+          Deadlock.Route_store.iter_pairs store (fun pair ->
+              Deadlock.Cdg_ref.add_path rc ~pair (Deadlock.Route_store.to_path store ~pair));
+          let agree () =
+            let ok = ref true in
+            if Deadlock.Cdg.num_edges csr <> Deadlock.Cdg_ref.num_edges rc then ok := false;
+            if Deadlock.Cdg.num_paths csr <> Deadlock.Cdg_ref.num_paths rc then ok := false;
+            Deadlock.Cdg_ref.iter_edges rc (fun c1 c2 count ->
+                if Deadlock.Cdg.edge_count csr ~c1 ~c2 <> count then ok := false;
+                if
+                  List.sort compare (Deadlock.Cdg.edge_pairs csr ~c1 ~c2)
+                  <> List.sort compare (Deadlock.Cdg_ref.edge_pairs rc ~c1 ~c2)
+                then ok := false);
+            for c = 0 to Graph.num_channels g - 1 do
+              if
+                List.sort compare (Array.to_list (Deadlock.Cdg.successors csr c))
+                <> List.sort compare (Array.to_list (Deadlock.Cdg_ref.successors rc c))
+              then ok := false
+            done;
+            (* weakest-edge choice over all live edges, in a fixed order:
+               identical counts must yield the identical pick *)
+            let edges = ref [] in
+            Deadlock.Cdg_ref.iter_edges rc (fun c1 c2 _ -> edges := (c1, c2) :: !edges);
+            let edges = Array.of_list (List.sort compare !edges) in
+            if Array.length edges > 0 then begin
+              let expected = ref edges.(0) in
+              let expected_count =
+                ref (Deadlock.Cdg_ref.edge_count rc ~c1:(fst edges.(0)) ~c2:(snd edges.(0)))
+              in
+              Array.iter
+                (fun (c1, c2) ->
+                  let count = Deadlock.Cdg_ref.edge_count rc ~c1 ~c2 in
+                  if count < !expected_count then begin
+                    expected := (c1, c2);
+                    expected_count := count
+                  end)
+                edges;
+              if Deadlock.Heuristic.choose Deadlock.Heuristic.Weakest csr edges <> !expected then
+                ok := false
+            end;
+            !ok
+          in
+          let ok = ref (agree ()) in
+          (* random removals, then re-adds, must track exactly *)
+          let removed = ref [] in
+          Deadlock.Route_store.iter_pairs store (fun pair ->
+              if Rng.int rng 2 = 0 then removed := pair :: !removed);
+          List.iter
+            (fun pair ->
+              Deadlock.Cdg.remove_pair csr store ~pair;
+              Deadlock.Cdg_ref.remove_path rc ~pair (Deadlock.Route_store.to_path store ~pair))
+            !removed;
+          if not (agree ()) then ok := false;
+          List.iter
+            (fun pair ->
+              Deadlock.Cdg.add_pair csr store ~pair;
+              Deadlock.Cdg_ref.add_path rc ~pair (Deadlock.Route_store.to_path store ~pair))
+            !removed;
+          if not (agree ()) then ok := false;
+          (* compaction is invisible to every observer *)
+          Deadlock.Cdg.compact csr;
+          if not (agree ()) then ok := false;
+          !ok))
+
+(* ------------------------------------------------------------------ *)
 (* Opensm dump consistency                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -509,7 +597,7 @@ let () =
       ("routing", [ minhop_suffix; sssp_suffix; updown_suffix; routing_deterministic ]);
       ("congestion", [ congestion_conservation ]);
       ("simulators", [ acyclic_implies_drain ]);
-      ("cdg", [ cycle_vs_kahn; resumable_matches_naive ]);
+      ("cdg", [ cycle_vs_kahn; resumable_matches_naive; cdg_matches_reference ]);
       ("interop", [ sl_dump_matches_layers; ftable_io_random ]);
       ("degradation", [ switch_removal_sound ]);
       ("fabric", [ fabric_manager_converges ]);

@@ -127,6 +127,54 @@ let test_ftable_loop_detection () =
   check Alcotest.(option (array int)) "loop detected" None (Ftable.path ft ~src:t0 ~dst:t1);
   Alcotest.(check bool) "validate fails" true (Result.is_error (Ftable.validate ft))
 
+(* The loop bound is tight: a loop-free walk visits distinct nodes, so
+   num_nodes - 1 hops is the exact maximum — a Hamiltonian-length route
+   must still resolve, anything longer is a loop. *)
+let test_ftable_loop_bound_tight () =
+  let k = 4 in
+  let b = Builder.create () in
+  let switches = Array.init k (fun i -> Builder.add_switch b ~name:(Printf.sprintf "s%d" i)) in
+  let t0 = Builder.add_terminal b ~name:"t0" ~switch:switches.(0) in
+  let t1 = Builder.add_terminal b ~name:"t1" ~switch:switches.(k - 1) in
+  let links = Array.init (k - 1) (fun i -> Builder.add_link b switches.(i) switches.(i + 1)) in
+  let g = Builder.build b in
+  let ft = Ftable.create g ~algorithm:"line" in
+  Ftable.set_next ft ~node:t0 ~dst:t1 ~channel:(Graph.out_channels g t0).(0);
+  Array.iteri (fun i (fwd, _) -> Ftable.set_next ft ~node:switches.(i) ~dst:t1 ~channel:fwd) links;
+  let eject =
+    Array.to_list (Graph.out_channels g switches.(k - 1))
+    |> List.find (fun c -> (Graph.channel g c).Channel.dst = t1)
+  in
+  Ftable.set_next ft ~node:switches.(k - 1) ~dst:t1 ~channel:eject;
+  match Ftable.path ft ~src:t0 ~dst:t1 with
+  | None -> Alcotest.fail "Hamiltonian-length route must resolve"
+  | Some p -> check Alcotest.int "num_nodes - 1 hops" (Graph.num_nodes g - 1) (Array.length p)
+
+let test_ftable_cyclic_table () =
+  (* deliberately cyclic 3-switch table: the walk revolves s0->s1->s2->s0
+     forever and must be cut off at the num_nodes - 1 hop bound *)
+  let b = Builder.create () in
+  let s0 = Builder.add_switch b ~name:"s0" in
+  let s1 = Builder.add_switch b ~name:"s1" in
+  let s2 = Builder.add_switch b ~name:"s2" in
+  let t0 = Builder.add_terminal b ~name:"t0" ~switch:s0 in
+  let t1 = Builder.add_terminal b ~name:"t1" ~switch:s1 in
+  let c01, _ = Builder.add_link b s0 s1 in
+  let c12, _ = Builder.add_link b s1 s2 in
+  let c20, _ = Builder.add_link b s2 s0 in
+  let g = Builder.build b in
+  let ft = Ftable.create g ~algorithm:"cyclic" in
+  Ftable.set_next ft ~node:t0 ~dst:t1 ~channel:(Graph.out_channels g t0).(0);
+  Ftable.set_next ft ~node:s0 ~dst:t1 ~channel:c01;
+  Ftable.set_next ft ~node:s1 ~dst:t1 ~channel:c12 (* skips t1's ejection port *);
+  Ftable.set_next ft ~node:s2 ~dst:t1 ~channel:c20;
+  check Alcotest.(option (array int)) "cycle cut off" None (Ftable.path ft ~src:t0 ~dst:t1);
+  (* the streaming variant must abort and leave the store pair absent *)
+  let store = Deadlock.Route_store.create g ~capacity:(Ftable.num_pairs ft) in
+  let pair = Ftable.pair_id ft ~src:t0 ~dst:t1 in
+  Alcotest.(check bool) "path_into aborts" false (Ftable.path_into ft store ~pair ~src:t0 ~dst:t1);
+  Alcotest.(check bool) "pair left absent" false (Deadlock.Route_store.mem store ~pair)
+
 (* ------------------------------------------------------------------ *)
 (* Algorithm conformance on applicable topologies                       *)
 (* ------------------------------------------------------------------ *)
@@ -569,6 +617,8 @@ let () =
           Alcotest.test_case "basics" `Quick test_ftable_basics;
           Alcotest.test_case "layers" `Quick test_ftable_layers;
           Alcotest.test_case "loop detection" `Quick test_ftable_loop_detection;
+          Alcotest.test_case "loop bound tight" `Quick test_ftable_loop_bound_tight;
+          Alcotest.test_case "cyclic table" `Quick test_ftable_cyclic_table;
         ] );
       ( "minhop",
         [
