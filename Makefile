@@ -1,14 +1,21 @@
-.PHONY: all check test doc clean bench-cdg
+.PHONY: all check test lint doc clean bench-cdg
 
 all:
 	dune build
 
-# The tier-1 gate: everything compiles (dev and release profiles) and
-# every test suite passes.
+# The tier-1 gate: everything compiles (dev and release profiles),
+# every test suite passes, and the routing certifier signs off on the
+# example topologies.
 check:
-	dune build && dune build --profile release && dune runtest
+	dune build && dune build --profile release && dune runtest && $(MAKE) lint
 
 test: check
+
+# The routing certifier on the example topologies: lint the DFSSSP
+# tables and validate their deadlock-freedom certificates (exit 0 iff
+# every target is certified and lint-clean).
+lint:
+	dune exec bin/fabric_tool.exe -- analyze --minimal ring:8 torus:4x4 tree:4,2 dragonfly:4,2,2
 
 # Route-store / CSR CDG microbenchmark (DESIGN.md §10). Writes
 # bench_results/route_store.json; fails if the >= 2x build+cycle-breaking

@@ -137,6 +137,97 @@ let diff_cmd =
     (Cmd.info "diff" ~doc:"structural diff of two fabrics (canonical text form)")
     Term.(const run $ spec_a $ spec_b)
 
+(* analyze: the routing certifier — route (or load) forwarding tables,
+   lint them, and validate a deadlock-freedom certificate. *)
+let analyze_cmd =
+  let run specs tables algorithm max_layers json minimal slack cert_out =
+    let hop_budget =
+      if minimal then Some `Minimal
+      else Option.map (fun n -> `Slack n) slack
+    in
+    let analyze_table target ft =
+      let report = Analysis.Analyzer.analyze ?hop_budget ft in
+      if json then print_endline (Analysis.Analyzer.to_json ~target report)
+      else Format.printf "== %s ==@.%a@.@." target Analysis.Analyzer.pp report;
+      Option.iter
+        (fun path ->
+          match report.Analysis.Analyzer.verdict with
+          | Analysis.Analyzer.Certified cert ->
+            Out_channel.with_open_text path (fun oc ->
+                Out_channel.output_string oc (Analysis.Cert.to_string cert));
+            if not json then Format.printf "wrote %s@." path
+          | Analysis.Analyzer.Rejected _ ->
+            Format.eprintf "%s: no certificate to write (rejected)@." target)
+        cert_out;
+      Analysis.Analyzer.ok report
+    in
+    let outcomes =
+      List.map
+        (fun spec ->
+          match load_spec spec with
+          | Error msg ->
+            prerr_endline msg;
+            None
+          | Ok t -> (
+            match
+              Harness.Runs.run_named ?coords:t.Harness.Topospec.coords ~max_layers algorithm
+                t.Harness.Topospec.graph
+            with
+            | Error msg ->
+              Format.eprintf "%s: %s refused: %s@." spec algorithm msg;
+              None
+            | Ok ft -> Some (analyze_table spec ft)))
+        specs
+      @ List.map
+          (fun path ->
+            match Routing.Ftable_io.load path with
+            | Error msg ->
+              Format.eprintf "%s: %s@." path msg;
+              None
+            | Ok ft -> Some (analyze_table path ft))
+          tables
+    in
+    if outcomes = [] then begin
+      prerr_endline "analyze: no SPEC or --table given";
+      2
+    end
+    else if List.mem None outcomes then 2
+    else if List.for_all (fun o -> o = Some true) outcomes then 0
+    else 1
+  in
+  let specs = Arg.(value & pos_all string [] & info [] ~docv:"SPEC") in
+  let tables =
+    Arg.(
+      value & opt_all string []
+      & info [ "table" ] ~docv:"FILE" ~doc:"Analyze a saved routing artifact (Ftable_io format).")
+  in
+  let algorithm =
+    Arg.(value & opt string "dfsssp" & info [ "algorithm" ] ~docv:"NAME" ~doc:"Routing algorithm for SPEC targets.")
+  in
+  let max_layers =
+    Arg.(value & opt int 8 & info [ "max-layers" ] ~docv:"K" ~doc:"Virtual layer budget for SPEC targets.")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"One JSON object per target instead of text.") in
+  let minimal =
+    Arg.(value & flag & info [ "minimal" ] ~doc:"Enable A006: flag routes longer than shortest-path.")
+  in
+  let slack =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "slack" ] ~docv:"N" ~doc:"Enable A006 with N extra hops allowed over shortest-path.")
+  in
+  let cert_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cert" ] ~docv:"FILE" ~doc:"Write the (last certified target's) certificate to FILE.")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"lint forwarding tables and check their deadlock-freedom certificate (exit 0 iff all certified and lint-clean)")
+    Term.(const run $ specs $ tables $ algorithm $ max_layers $ json $ minimal $ slack $ cert_out)
+
 (* manage: the live fabric manager — replay a fault schedule and report
    convergence after every event. *)
 let manage_cmd =
@@ -257,4 +348,4 @@ let () =
     (Cmd.eval'
        (Cmd.group
           (Cmd.info "fabric_tool" ~version:"1.0.0" ~doc)
-          [ info_cmd; convert_cmd; degrade_cmd; diff_cmd; manage_cmd ]))
+          [ info_cmd; convert_cmd; degrade_cmd; diff_cmd; analyze_cmd; manage_cmd ]))

@@ -1,0 +1,89 @@
+type verdict =
+  | Certified of Cert.t
+  | Rejected of string
+
+type report = {
+  algorithm : string;
+  channels : int;
+  terminals : int;
+  num_layers : int;
+  findings : Diag.finding list;
+  verdict : verdict;
+}
+
+let certify ft =
+  match Cert.of_table ft with
+  | Error e -> Error (Cert.error_to_string e)
+  | Ok cert -> (
+    (* the generated witness is untrusted until the checker re-derives
+       every dependency from the artifact and accepts it *)
+    match Cert.check_table cert ft with
+    | Ok () -> Ok cert
+    | Error msg -> Error (Printf.sprintf "checker refuted the generated witness: %s" msg))
+
+let analyze ?hop_budget ?graph ft =
+  let findings = Lint.table ?hop_budget ?graph ft in
+  let findings, verdict =
+    match Cert.of_table ft with
+    | Error (Cert.Cycle { layer; stuck } as e) ->
+      ( findings
+        @ [
+            Diag.finding ~count:stuck Diag.a007_cdg_cycle
+              (Printf.sprintf "layer %d: %d channel(s) stuck on a dependency cycle" layer stuck);
+          ],
+        Rejected (Cert.error_to_string e) )
+    | Error (Cert.Incomplete _ as e) -> (findings, Rejected (Cert.error_to_string e))
+    | Ok cert -> (
+      match Cert.check_table cert ft with
+      | Ok () -> (findings, Certified cert)
+      | Error msg -> (findings, Rejected (Printf.sprintf "checker refuted the generated witness: %s" msg)))
+  in
+  let g = Ftable.graph ft in
+  {
+    algorithm = Ftable.algorithm ft;
+    channels = Graph.num_channels g;
+    terminals = Graph.num_terminals g;
+    num_layers = Ftable.num_layers ft;
+    findings;
+    verdict;
+  }
+
+let ok r =
+  (match r.verdict with Certified _ -> true | Rejected _ -> false) && Diag.num_errors r.findings = 0
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>%s: %d terminals, %d channels, %d layer(s)@," r.algorithm r.terminals
+    r.channels r.num_layers;
+  (match r.findings with
+  | [] -> Format.fprintf ppf "lint: no findings@,"
+  | fs ->
+    Format.fprintf ppf "lint: %d error(s), %d warning(s)@," (Diag.num_errors fs) (Diag.num_warnings fs);
+    List.iter (fun f -> Format.fprintf ppf "  %a@," Diag.pp_finding f) fs);
+  (match r.verdict with
+  | Certified cert ->
+    Format.fprintf ppf "certificate: CERTIFIED (%d layer(s), topological witness checked)"
+      (Cert.num_layers cert)
+  | Rejected msg -> Format.fprintf ppf "certificate: REJECTED — %s" msg);
+  Format.fprintf ppf "@]"
+
+let to_json ?target r =
+  let buf = Buffer.create 512 in
+  Buffer.add_char buf '{';
+  (match target with
+  | Some t -> Buffer.add_string buf (Printf.sprintf {|"target":"%s",|} (Diag.json_escape t))
+  | None -> ());
+  Buffer.add_string buf
+    (Printf.sprintf {|"algorithm":"%s","terminals":%d,"channels":%d,"num_layers":%d,|}
+       (Diag.json_escape r.algorithm) r.terminals r.channels r.num_layers);
+  Buffer.add_string buf
+    (Printf.sprintf {|"errors":%d,"warnings":%d,"findings":[%s],|} (Diag.num_errors r.findings)
+       (Diag.num_warnings r.findings)
+       (String.concat "," (List.map Diag.finding_to_json r.findings)));
+  (match r.verdict with
+  | Certified cert ->
+    Buffer.add_string buf
+      (Printf.sprintf {|"verdict":"certified","certificate_layers":%d|} (Cert.num_layers cert))
+  | Rejected msg ->
+    Buffer.add_string buf (Printf.sprintf {|"verdict":"rejected","reason":"%s"|} (Diag.json_escape msg)));
+  Buffer.add_char buf '}';
+  Buffer.contents buf

@@ -1,0 +1,42 @@
+(** The routing certifier's front door: lint a forwarding table
+    ({!Lint}), generate its deadlock-freedom certificate, and validate
+    the certificate with the trusted checker ({!Cert}) — all without
+    touching the construction code in [lib/cdg] or [lib/core]. A table is
+    {e certified} only when the checker accepts a topological witness for
+    every virtual layer; lint errors independently veto installation
+    ({!ok}). *)
+
+type verdict =
+  | Certified of Cert.t
+  | Rejected of string
+
+type report = {
+  algorithm : string;
+  channels : int;
+  terminals : int;
+  num_layers : int;  (** the table's declared layer count *)
+  findings : Diag.finding list;
+  verdict : verdict;
+}
+
+(** [analyze ?hop_budget ?graph ft] lints and certifies [ft]. [graph]
+    lints against an overriding fabric (see {!Lint.view_of_table});
+    certification always runs over the table's own artifacts. A cyclic
+    layer surfaces both as [Rejected] and as an {!Diag.a007_cdg_cycle}
+    finding. *)
+val analyze : ?hop_budget:Lint.hop_budget -> ?graph:Graph.t -> Ftable.t -> report
+
+(** [certify ft] is the install gate used by {!Fabric.Epoch}: generate a
+    certificate and have the trusted checker validate it against the
+    table's own routes. [Error] explains the refusal. *)
+val certify : Ftable.t -> (Cert.t, string) result
+
+(** [ok r] is [true] iff the verdict is [Certified] and no finding has
+    [Error] severity (warnings do not veto). *)
+val ok : report -> bool
+
+val pp : Format.formatter -> report -> unit
+
+(** One JSON object; [target] labels the analyzed artifact (a topology
+    spec or file name). *)
+val to_json : ?target:string -> report -> string

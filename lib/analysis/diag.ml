@@ -1,0 +1,101 @@
+type severity =
+  | Error
+  | Warning
+  | Info
+
+type rule = {
+  id : string;
+  severity : severity;
+  title : string;
+}
+
+let a001_unreachable_dest =
+  { id = "A001-unreachable-dest"; severity = Error; title = "destination unreachable by following the table" }
+
+let a002_forwarding_loop =
+  { id = "A002-forwarding-loop"; severity = Error; title = "forwarding entries form a loop" }
+
+let a003_port_range =
+  { id = "A003-port-range"; severity = Error; title = "entry names a channel that does not leave its node" }
+
+let a004_layer_transition =
+  {
+    id = "A004-layer-transition";
+    severity = Error;
+    title = "route layer outside the declared layer count (illegal SL\xe2\x86\x92VL transition mid-route)";
+  }
+
+let a005_dead_entry =
+  { id = "A005-dead-entry"; severity = Error; title = "entry points into a disabled channel" }
+
+let a006_nonminimal =
+  { id = "A006-nonminimal-hop-budget"; severity = Warning; title = "route exceeds its hop budget" }
+
+let a007_cdg_cycle =
+  {
+    id = "A007-cdg-cycle";
+    severity = Error;
+    title = "a layer's channel dependency graph has a cycle (Dally/Seitz condition violated)";
+  }
+
+let catalog =
+  [
+    a001_unreachable_dest;
+    a002_forwarding_loop;
+    a003_port_range;
+    a004_layer_transition;
+    a005_dead_entry;
+    a006_nonminimal;
+    a007_cdg_cycle;
+  ]
+
+type finding = {
+  rule : rule;
+  dst : int option;
+  count : int;
+  detail : string;
+}
+
+let finding ?dst ?(count = 1) rule detail = { rule; dst; count; detail }
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let has_rule findings id = List.exists (fun f -> f.rule.id = id) findings
+
+let num_errors findings = List.length (List.filter (fun f -> f.rule.severity = Error) findings)
+
+let num_warnings findings = List.length (List.filter (fun f -> f.rule.severity = Warning) findings)
+
+let pp_finding ppf f =
+  Format.fprintf ppf "%-7s %s" (severity_to_string f.rule.severity) f.rule.id;
+  (match f.dst with
+  | Some d -> Format.fprintf ppf " dst=%d" d
+  | None -> ());
+  if f.count > 1 then Format.fprintf ppf " (%d)" f.count;
+  Format.fprintf ppf ": %s" f.detail
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let finding_to_json f =
+  Printf.sprintf {|{"rule":"%s","severity":"%s","dst":%s,"count":%d,"detail":"%s"}|}
+    (json_escape f.rule.id)
+    (severity_to_string f.rule.severity)
+    (match f.dst with
+    | Some d -> string_of_int d
+    | None -> "null")
+    f.count (json_escape f.detail)

@@ -1,0 +1,47 @@
+(** Static linter over forwarding tables — the entry-level and walk-level
+    half of the certifier (the certificate side lives in {!Cert}).
+
+    The linter never trusts the code that produced the table: it reads
+    entries through a plain {!view} (a function, not [Ftable]'s internal
+    arrays), so tests can inject arbitrary corruption — including entries
+    [Ftable]'s own setters would refuse, like out-of-range ports — and
+    operators can lint a table against a {e different} (e.g. degraded)
+    fabric than the one it was computed for.
+
+    Rules (see {!Diag.catalog}):
+    - entry-level, every (node, destination) entry: A003 port-range,
+      A005 dead-entry;
+    - walk-level, following the functional graph of each destination from
+      every terminal: A001 unreachable-dest (a walk starves at a missing
+      entry), A002 forwarding-loop (a walk enters a cycle), A006
+      nonminimal-hop-budget (a walk arrives but over budget). Walks that
+      die at an entry-level defect are charged to that defect only, so
+      every corruption maps to exactly one rule id.
+    - pair-level: A004 layer-transition (a route's layer is outside the
+      declared layer count). *)
+
+type hop_budget =
+  [ `Minimal  (** every route must have min-hop length *)
+  | `Slack of int  (** min-hop length plus at most this many extra hops *)
+  ]
+
+type view = {
+  graph : Graph.t;  (** fabric to lint against (enablement, adjacency) *)
+  num_nodes : int;
+  terminals : int array;
+  next : node:int -> dst:int -> int option;
+  layer : src:int -> dst:int -> int;
+  num_layers : int;
+}
+
+(** [view_of_table ?graph ft] reads entries from [ft]; [graph] overrides
+    the fabric (same node/channel id space) — the degraded-fabric case. *)
+val view_of_table : ?graph:Graph.t -> Ftable.t -> view
+
+(** [run ?hop_budget v] lints the view and returns all findings, grouped
+    per destination in rule-id order. Without [hop_budget], A006 is off
+    (routing algorithms differ on minimality by design). *)
+val run : ?hop_budget:hop_budget -> view -> Diag.finding list
+
+(** [table ?hop_budget ?graph ft] is [run] over {!view_of_table}. *)
+val table : ?hop_budget:hop_budget -> ?graph:Graph.t -> Ftable.t -> Diag.finding list

@@ -2,4 +2,8 @@ include Router
 module Verify = Verify
 module Registry = Registry
 module Multipath = Multipath
-module Route_store = Route_store
+(* The route arena lives in lib/cdg (the CDG layers sit below routing in
+   the dependency order); alias it here so downstream users (bin/, bench/)
+   reach it as [Dfsssp.Route_store] without depending on the [deadlock]
+   library directly. *)
+module Route_store = Deadlock.Route_store

@@ -15,4 +15,4 @@ module Registry : module type of Registry
 
 module Multipath : module type of Multipath
 
-module Route_store : module type of Route_store
+module Route_store : module type of Deadlock.Route_store

@@ -20,15 +20,25 @@ let history t = List.rev t.entries
 
 let try_swap t ~label candidate =
   let t0 = Unix.gettimeofday () in
-  let verdict = Dfsssp.Verify.report candidate in
-  let verify_s = Unix.gettimeofday () -. t0 in
-  match verdict with
-  | Error msg -> (Error (Printf.sprintf "incomplete routing: %s" msg), verify_s)
-  | Ok r ->
-    if not r.Dfsssp.Verify.deadlock_free then (Error "candidate tables are not deadlock-free", verify_s)
-    else begin
-      t.epoch <- t.epoch + 1;
-      t.active <- Some candidate;
-      t.entries <- { epoch = t.epoch; label; verify_s } :: t.entries;
-      (Ok r, verify_s)
-    end
+  (* The independent certificate gate runs first: the trusted checker in
+     lib/analysis must accept a topological witness for every layer
+     before the (construction-side) verifier is even consulted. A table
+     the checker cannot certify never goes live, whatever the code that
+     built it believes. *)
+  match Analysis.Analyzer.certify candidate with
+  | Error msg ->
+    (Error (Printf.sprintf "certificate: %s" msg), Unix.gettimeofday () -. t0)
+  | Ok _cert -> (
+    let verdict = Dfsssp.Verify.report candidate in
+    let verify_s = Unix.gettimeofday () -. t0 in
+    match verdict with
+    | Error msg -> (Error (Printf.sprintf "incomplete routing: %s" msg), verify_s)
+    | Ok r ->
+      if not r.Dfsssp.Verify.deadlock_free then
+        (Error "candidate tables are not deadlock-free", verify_s)
+      else begin
+        t.epoch <- t.epoch + 1;
+        t.active <- Some candidate;
+        t.entries <- { epoch = t.epoch; label; verify_s } :: t.entries;
+        (Ok r, verify_s)
+      end)

@@ -1,10 +1,13 @@
 (** Epoch-based verified table swaps — the manager's safety gate. The
-    active forwarding tables only ever advance to a candidate that passed
-    the full independent verifier ({!Dfsssp.Verify.report}: completeness
-    over every terminal pair, per-layer CDG acyclicity). A rejected
-    candidate leaves the active epoch untouched, exactly like a subnet
-    manager that keeps serving the old LFTs until the new ones check
-    out. *)
+    active forwarding tables only ever advance to a candidate that (1)
+    carries a deadlock-freedom certificate accepted by the trusted
+    checker ({!Analysis.Analyzer.certify} — a per-layer topological
+    witness validated independently of every piece of construction code)
+    and (2) passed the full verifier ({!Dfsssp.Verify.report}:
+    completeness over every terminal pair, per-layer CDG acyclicity). A
+    rejected candidate leaves the active epoch untouched, exactly like a
+    subnet manager that keeps serving the old LFTs until the new ones
+    check out. *)
 
 type entry = {
   epoch : int;
@@ -25,8 +28,9 @@ val active : t -> Ftable.t option
 (** Installed epochs, oldest first. *)
 val history : t -> entry list
 
-(** [try_swap t ~label candidate] verifies [candidate] and, on success,
-    installs it as the next epoch. Always returns the verification wall
-    time; [Error] means the active tables were kept. *)
+(** [try_swap t ~label candidate] certifies and verifies [candidate] and,
+    on success, installs it as the next epoch. Always returns the
+    certify-plus-verify wall time; [Error] means the active tables were
+    kept (a certificate refusal is prefixed ["certificate:"]). *)
 val try_swap :
   t -> label:string -> Ftable.t -> (Dfsssp.Verify.report, string) result * float

@@ -57,12 +57,13 @@ let hardened_routings ?(patterns = 30) ?(seed = 21) () =
               Report.Str (if Dfsssp.Verify.deadlock_free ft then "yes" else "NO");
               Report.Int (Ftable.num_layers ft);
               Report.Flt (ebb_of ft ~patterns ~seed);
+              Runs.analyzer_cell ft;
             ])
       [ "dor"; "dfdor"; "minhop"; "dfminhop"; "sssp"; "dfsssp" ]
   in
   {
     Report.title = "Ablation: hardening arbitrary routings with the layer assignment (6x6 torus)";
-    columns = [ "routing"; "deadlock-free"; "VLs"; "eBB" ];
+    columns = [ "routing"; "deadlock-free"; "VLs"; "eBB"; "analyzer" ];
     rows;
     notes = [ "df* = base routes unchanged, offline cycle-breaking applied on top" ];
   }
@@ -73,10 +74,12 @@ let dragonfly ?(patterns = 30) ?(seed = 22) () =
     List.map
       (fun name ->
         match Runs.run_named ~max_layers:8 name g with
-        | Error _ -> [ Report.Str name; Report.Missing; Report.Missing; Report.Missing; Report.Missing ]
+        | Error _ ->
+          [ Report.Str name; Report.Missing; Report.Missing; Report.Missing; Report.Missing; Report.Missing ]
         | Ok ft -> (
           match Ftable.validate ft with
-          | Error _ -> [ Report.Str name; Report.Missing; Report.Missing; Report.Missing; Report.Missing ]
+          | Error _ ->
+            [ Report.Str name; Report.Missing; Report.Missing; Report.Missing; Report.Missing; Report.Missing ]
           | Ok s ->
             [
               Report.Str name;
@@ -84,12 +87,13 @@ let dragonfly ?(patterns = 30) ?(seed = 22) () =
               Report.Int (Ftable.num_layers ft);
               Report.Flt s.Ftable.avg_hops;
               Report.Flt (ebb_of ft ~patterns ~seed);
+              Runs.analyzer_cell ft;
             ]))
       Runs.paper_algorithms
   in
   {
     Report.title = "Extension: dragonfly(a=4,p=2,h=2), 9 groups, 72 nodes";
-    columns = [ "routing"; "deadlock-free"; "VLs"; "avg hops"; "eBB" ];
+    columns = [ "routing"; "deadlock-free"; "VLs"; "avg hops"; "eBB"; "analyzer" ];
     rows;
     notes = [ "a topology class outside the paper's evaluation set (generality check)" ];
   }
@@ -259,7 +263,12 @@ let routing_quality ?(scale = 8) () =
     List.filter_map
       (fun name ->
         match Runs.run_named name g with
-        | Error _ -> Some [ Report.Str name; Report.Missing; Report.Missing; Report.Missing; Report.Missing; Report.Missing ]
+        | Error _ ->
+          Some
+            [
+              Report.Str name; Report.Missing; Report.Missing; Report.Missing; Report.Missing;
+              Report.Missing; Report.Missing;
+            ]
         | Ok ft ->
           let q = Simulator.Quality.measure ft in
           Some
@@ -270,12 +279,13 @@ let routing_quality ?(scale = 8) () =
               Report.Str (if q.Simulator.Quality.max_hops = q.Simulator.Quality.diameter_hops then "yes" else "no");
               Report.Int q.Simulator.Quality.max_load;
               Report.Flt q.Simulator.Quality.load_cv;
+              Runs.analyzer_cell ft;
             ])
       Runs.paper_algorithms
   in
   {
     Report.title = Printf.sprintf "Quality: all-pairs path length and load balance, Deimos stand-in (scale 1/%d)" scale;
-    columns = [ "routing"; "mean hops"; "max hops"; "tight"; "max load"; "load cv" ];
+    columns = [ "routing"; "mean hops"; "max hops"; "tight"; "max load"; "load cv"; "analyzer" ];
     rows;
     notes =
       [

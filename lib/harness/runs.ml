@@ -23,6 +23,18 @@ let vl_cell ?coords ?max_layers name g =
   | Error _ -> Report.Missing
   | Ok ft -> Report.Int (Ftable.num_layers ft)
 
+let analyzer_cell ft =
+  let r = Analysis.Analyzer.analyze ft in
+  if Analysis.Analyzer.ok r then Report.Str "certified"
+  else
+    let errs = Analysis.Diag.num_errors r.Analysis.Analyzer.findings in
+    Report.Str (Printf.sprintf "REJECTED (%d error(s))" errs)
+
+let analyzer_run_cell ?coords ?max_layers name g =
+  match run_named ?coords ?max_layers name g with
+  | Error _ -> Report.Missing
+  | Ok ft -> analyzer_cell ft
+
 let runtime_cell ?coords name g =
   match timed (fun () -> run_named ?coords name g) with
   | _, Error _ -> Report.Missing

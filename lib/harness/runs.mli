@@ -20,6 +20,15 @@ val ebb_cell : ?coords:Coords.t -> ?ranks:int array -> patterns:int -> seed:int 
     on [g] ([Missing] on refusal). *)
 val vl_cell : ?coords:Coords.t -> ?max_layers:int -> string -> Graph.t -> Report.cell
 
+(** [analyzer_cell ft] is the static analyzer's verdict on [ft] as a table
+    cell: ["certified"] when the certificate checker accepts and lint
+    reports no errors, ["REJECTED (n error(s))"] otherwise. *)
+val analyzer_cell : Ftable.t -> Report.cell
+
+(** [analyzer_run_cell name g] routes [g] with [name] and analyzes the
+    result ([Missing] on refusal). *)
+val analyzer_run_cell : ?coords:Coords.t -> ?max_layers:int -> string -> Graph.t -> Report.cell
+
 (** [runtime_cell name g] is the routing wall-clock time ([Missing] on
     refusal). *)
 val runtime_cell : ?coords:Coords.t -> string -> Graph.t -> Report.cell

@@ -1,0 +1,421 @@
+(* Tests for the routing certifier (lib/analysis): certificate
+   generation + trusted checking on the paper's topology seeds, injected
+   corruption of certificates and tables mapping to stable rule ids, the
+   text round trips, and the epoch-swap gate in the fabric manager. *)
+
+let check = Alcotest.check
+
+let qtest ?(count = 40) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* Helpers                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let route ?(max_layers = 8) name g =
+  match Harness.Runs.run_named ~max_layers name g with
+  | Ok ft -> ft
+  | Error msg -> Alcotest.failf "%s refused: %s" name msg
+
+let seeds () =
+  [
+    ("ring8", Topo_ring.make ~switches:8 ~terminals_per_switch:1);
+    ("torus4x4", fst (Topo_torus.torus ~dims:[| 4; 4 |] ~terminals_per_switch:1));
+    ("xgft", Topo_xgft.make ~ms:[| 2; 4 |] ~ws:[| 1; 2 |] ~endpoints:16);
+    ("dragonfly", Topo_dragonfly.make ~a:4 ~p:2 ~h:2 ());
+  ]
+
+let chan_between g a b =
+  let found = ref (-1) in
+  Array.iter
+    (fun (c : Channel.t) -> if c.Channel.src = a && c.Channel.dst = b then found := c.Channel.id)
+    (Graph.channels g);
+  if !found < 0 then Alcotest.failf "no channel %d -> %d" a b;
+  !found
+
+(* Rebuild [ft] entry by entry so mutations never touch the original;
+   entries in [drop] are left unset. *)
+let copy_table ?(drop = []) ft =
+  let g = Routing.Ftable.graph ft in
+  let copy = Routing.Ftable.create g ~algorithm:(Routing.Ftable.algorithm ft) in
+  let terminals = Graph.terminals g in
+  Array.iter
+    (fun dst ->
+      for node = 0 to Graph.num_nodes g - 1 do
+        match Routing.Ftable.next ft ~node ~dst with
+        | Some channel when not (List.mem (node, dst) drop) ->
+          Routing.Ftable.set_next copy ~node ~dst ~channel
+        | _ -> ()
+      done)
+    terminals;
+  Array.iter
+    (fun src ->
+      Array.iter
+        (fun dst ->
+          if src <> dst then Routing.Ftable.set_layer copy ~src ~dst (Routing.Ftable.layer ft ~src ~dst))
+        terminals)
+    terminals;
+  Routing.Ftable.set_num_layers copy (Routing.Ftable.num_layers ft);
+  copy
+
+(* The paper's Fig. 2 deadlock: every route on a ring goes clockwise in a
+   single layer, so the layer's CDG contains the full ring cycle. *)
+let clockwise_ring ~switches =
+  let g = Topo_ring.make ~switches ~terminals_per_switch:1 in
+  let ft = Routing.Ftable.create g ~algorithm:"clockwise" in
+  let sws = Graph.switches g in
+  let n = Array.length sws in
+  let switch_of t = (Graph.channel g (Graph.out_channels g t).(0)).Channel.dst in
+  let index_of s =
+    let idx = ref (-1) in
+    Array.iteri (fun i sw -> if sw = s then idx := i) sws;
+    !idx
+  in
+  Array.iter
+    (fun dst ->
+      let sd = switch_of dst in
+      Array.iter
+        (fun t -> if t <> dst then Routing.Ftable.set_next ft ~node:t ~dst ~channel:(chan_between g t (switch_of t)))
+        (Graph.terminals g);
+      Array.iter
+        (fun s ->
+          let channel =
+            if s = sd then chan_between g s dst else chan_between g s sws.((index_of s + 1) mod n)
+          in
+          Routing.Ftable.set_next ft ~node:s ~dst ~channel)
+        sws)
+    (Graph.terminals g);
+  ft
+
+(* A (src, dst, path) with at least one switch->switch channel. *)
+let long_pair ft =
+  let g = Routing.Ftable.graph ft in
+  let terminals = Graph.terminals g in
+  let best = ref None in
+  Array.iter
+    (fun src ->
+      Array.iter
+        (fun dst ->
+          if src <> dst && !best = None then
+            match Routing.Ftable.path ft ~src ~dst with
+            | Some p when Array.length p >= 3 -> best := Some (src, dst, p)
+            | _ -> ())
+        terminals)
+    terminals;
+  match !best with
+  | Some x -> x
+  | None -> Alcotest.fail "no pair with a 3+ hop route"
+
+let has_rule findings id = Analysis.Diag.has_rule findings id
+
+(* ------------------------------------------------------------------ *)
+(* Certificates on the paper's seeds                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_certify_seeds () =
+  List.iter
+    (fun (name, g) ->
+      let ft = route "dfsssp" g in
+      match Analysis.Cert.of_table ft with
+      | Error e -> Alcotest.failf "%s: generate: %s" name (Analysis.Cert.error_to_string e)
+      | Ok cert ->
+        check Alcotest.int (name ^ " layer count") (Routing.Ftable.num_layers ft)
+          (Analysis.Cert.num_layers cert);
+        (match Analysis.Cert.check_table cert ft with
+        | Ok () -> ()
+        | Error msg -> Alcotest.failf "%s: check: %s" name msg))
+    (seeds ())
+
+let test_fresh_tables_clean () =
+  let g = fst (Topo_torus.torus ~dims:[| 4; 4 |] ~terminals_per_switch:1) in
+  List.iter
+    (fun name ->
+      let r = Analysis.Analyzer.analyze (route name g) in
+      check Alcotest.int (name ^ " findings") 0 (List.length r.Analysis.Analyzer.findings);
+      check Alcotest.bool (name ^ " ok") true (Analysis.Analyzer.ok r))
+    [ "dfsssp"; "lash"; "updown" ]
+
+let test_cert_rejects_corruption () =
+  let ft = route "dfsssp" (fst (Topo_torus.torus ~dims:[| 4; 4 |] ~terminals_per_switch:1)) in
+  let cert =
+    match Analysis.Cert.of_table ft with
+    | Ok c -> c
+    | Error e -> Alcotest.failf "generate: %s" (Analysis.Cert.error_to_string e)
+  in
+  (* swapped positions: some dependency stops ascending *)
+  let swapped =
+    let layers = Array.map Array.copy cert.Analysis.Cert.layers in
+    Array.iter
+      (fun pos ->
+        let tmp = pos.(0) in
+        (* reverse the whole numbering: every dependency now descends *)
+        ignore tmp;
+        let m = Array.length pos in
+        Array.iteri (fun c p -> pos.(c) <- m - 1 - p) (Array.copy pos))
+      layers;
+    { cert with Analysis.Cert.layers }
+  in
+  check Alcotest.bool "reversed numbering rejected" true
+    (Result.is_error (Analysis.Cert.check_table swapped ft));
+  (* truncated numbering: wrong shape *)
+  let truncated =
+    {
+      cert with
+      Analysis.Cert.layers = Array.map (fun pos -> Array.sub pos 0 (Array.length pos - 1)) cert.Analysis.Cert.layers;
+    }
+  in
+  check Alcotest.bool "truncated numbering rejected" true
+    (Result.is_error (Analysis.Cert.check_table truncated ft));
+  (* dropped layer: routes reference a layer outside the certificate *)
+  let missing_layer = { cert with Analysis.Cert.layers = [| cert.Analysis.Cert.layers.(0) |] } in
+  if Array.length cert.Analysis.Cert.layers > 1 then
+    check Alcotest.bool "missing layer rejected" true
+      (Result.is_error (Analysis.Cert.check_table missing_layer ft));
+  (* duplicate position: not a permutation, some dependency ties *)
+  let duplicated =
+    let layers = Array.map Array.copy cert.Analysis.Cert.layers in
+    Array.iter (fun pos -> if Array.length pos > 1 then pos.(1) <- pos.(0)) layers;
+    { cert with Analysis.Cert.layers }
+  in
+  check Alcotest.bool "duplicated position rejected" true
+    (Result.is_error (Analysis.Cert.check_table duplicated ft))
+
+let test_cyclic_layer_refused () =
+  let ft = clockwise_ring ~switches:8 in
+  (match Analysis.Cert.of_table ft with
+  | Error (Analysis.Cert.Cycle _) -> ()
+  | Error e -> Alcotest.failf "expected Cycle, got %s" (Analysis.Cert.error_to_string e)
+  | Ok _ -> Alcotest.fail "clockwise ring must not certify");
+  let r = Analysis.Analyzer.analyze ft in
+  check Alcotest.bool "rejected" false (Analysis.Analyzer.ok r);
+  check Alcotest.bool "A007" true (has_rule r.Analysis.Analyzer.findings "A007-cdg-cycle")
+
+let test_merged_layers_refused () =
+  (* DFSSSP needs 2 layers on the 8-ring; forcing everything onto layer 0
+     reintroduces the ring cycle. *)
+  let ft = route "dfsssp" (Topo_ring.make ~switches:8 ~terminals_per_switch:1) in
+  check Alcotest.bool "needs 2+ layers" true (Routing.Ftable.num_layers ft >= 2);
+  let merged = copy_table ft in
+  let terminals = Graph.terminals (Routing.Ftable.graph ft) in
+  Array.iter
+    (fun src -> Array.iter (fun dst -> if src <> dst then Routing.Ftable.set_layer merged ~src ~dst 0) terminals)
+    terminals;
+  Routing.Ftable.set_num_layers merged 1;
+  let r = Analysis.Analyzer.analyze merged in
+  check Alcotest.bool "rejected" false (Analysis.Analyzer.ok r);
+  check Alcotest.bool "A007" true (has_rule r.Analysis.Analyzer.findings "A007-cdg-cycle")
+
+let test_cert_text_roundtrip () =
+  let ft = route "dfsssp" (fst (Topo_torus.torus ~dims:[| 4; 4 |] ~terminals_per_switch:1)) in
+  let cert =
+    match Analysis.Cert.of_table ft with
+    | Ok c -> c
+    | Error e -> Alcotest.failf "generate: %s" (Analysis.Cert.error_to_string e)
+  in
+  match Analysis.Cert.of_string (Analysis.Cert.to_string cert) with
+  | Error msg -> Alcotest.failf "parse: %s" msg
+  | Ok cert' ->
+    check Alcotest.bool "identical" true (cert = cert');
+    (match Analysis.Cert.check_table cert' ft with
+    | Ok () -> ()
+    | Error msg -> Alcotest.failf "parsed cert fails check: %s" msg)
+
+(* ------------------------------------------------------------------ *)
+(* Linter: one deterministic corruption per rule id                     *)
+(* ------------------------------------------------------------------ *)
+
+let torus_table () = route "dfsssp" (fst (Topo_torus.torus ~dims:[| 4; 4 |] ~terminals_per_switch:1))
+
+let test_a001_dropped_entry () =
+  let ft = torus_table () in
+  let _, dst, p = long_pair ft in
+  let g = Routing.Ftable.graph ft in
+  let hole = (Graph.channel g p.(1)).Channel.src in
+  let bad = copy_table ~drop:[ (hole, dst) ] ft in
+  let findings = Analysis.Lint.table bad in
+  check Alcotest.bool "A001" true (has_rule findings "A001-unreachable-dest");
+  check Alcotest.bool "only A001" true
+    (List.for_all (fun f -> f.Analysis.Diag.rule.Analysis.Diag.id = "A001-unreachable-dest") findings)
+
+let test_a002_two_cycle () =
+  let ft = torus_table () in
+  let _, dst, p = long_pair ft in
+  let g = Routing.Ftable.graph ft in
+  let c = p.(1) in
+  let s2 = (Graph.channel g c).Channel.dst in
+  let back =
+    match Graph.reverse_channel g c with
+    | Some r -> r
+    | None -> Alcotest.fail "no reverse channel"
+  in
+  let bad = copy_table ft in
+  Routing.Ftable.set_next bad ~node:s2 ~dst ~channel:back;
+  let findings = Analysis.Lint.table bad in
+  check Alcotest.bool "A002" true (has_rule findings "A002-forwarding-loop")
+
+let test_a003_port_range () =
+  (* Ftable's own setters refuse such entries; inject through the view. *)
+  let ft = torus_table () in
+  let g = Routing.Ftable.graph ft in
+  let terminals = Graph.terminals g in
+  let n0 = terminals.(0) and d0 = terminals.(1) in
+  let v = Analysis.Lint.view_of_table ft in
+  let bogus_out_of_range = Graph.num_channels g in
+  let bad next0 =
+    {
+      v with
+      Analysis.Lint.next =
+        (fun ~node ~dst -> if node = n0 && dst = d0 then Some next0 else v.Analysis.Lint.next ~node ~dst);
+    }
+  in
+  check Alcotest.bool "A003 (out of range)" true
+    (has_rule (Analysis.Lint.run (bad bogus_out_of_range)) "A003-port-range");
+  (* a real channel that does not leave n0 *)
+  let foreign =
+    let found = ref (-1) in
+    Array.iter (fun (c : Channel.t) -> if !found < 0 && c.Channel.src <> n0 then found := c.Channel.id) (Graph.channels g);
+    !found
+  in
+  check Alcotest.bool "A003 (foreign channel)" true (has_rule (Analysis.Lint.run (bad foreign)) "A003-port-range")
+
+let test_a004_layer_overflow () =
+  let ft = torus_table () in
+  let terminals = Graph.terminals (Routing.Ftable.graph ft) in
+  let bad = copy_table ft in
+  Routing.Ftable.set_layer bad ~src:terminals.(0) ~dst:terminals.(1) (Routing.Ftable.num_layers bad);
+  let findings = Analysis.Lint.table bad in
+  check Alcotest.bool "A004" true (has_rule findings "A004-layer-transition")
+
+let test_a005_dead_entry () =
+  let ft = torus_table () in
+  let g = Routing.Ftable.graph ft in
+  let _, _, p = long_pair ft in
+  let enabled = Array.make (Graph.num_channels g) true in
+  enabled.(p.(1)) <- false;
+  let g' = Graph.with_enabled g ~enabled in
+  let findings = Analysis.Lint.table ~graph:g' ft in
+  check Alcotest.bool "A005" true (has_rule findings "A005-dead-entry");
+  check Alcotest.bool "no loop blamed" false (has_rule findings "A002-forwarding-loop")
+
+let test_a006_hop_budget () =
+  let ft = clockwise_ring ~switches:8 in
+  let findings = Analysis.Lint.table ~hop_budget:`Minimal ft in
+  check Alcotest.bool "A006 under `Minimal" true (has_rule findings "A006-nonminimal-hop-budget");
+  (* the long way round is 7 hops vs 1 minimal: slack 2 still flags it,
+     slack 6 forgives everything on an 8-ring *)
+  check Alcotest.bool "A006 under `Slack 2" true
+    (has_rule (Analysis.Lint.table ~hop_budget:(`Slack 2) ft) "A006-nonminimal-hop-budget");
+  check Alcotest.bool "clean under `Slack 6" false
+    (has_rule (Analysis.Lint.table ~hop_budget:(`Slack 6) ft) "A006-nonminimal-hop-budget");
+  (* off by default: detours alone never fail the default lint *)
+  check Alcotest.bool "A006 off by default" false
+    (has_rule (Analysis.Lint.table ft) "A006-nonminimal-hop-budget")
+
+let mutation_property =
+  qtest ~count:25 "random mutation maps to its rule id"
+    QCheck2.Gen.(pair (int_range 0 2) (int_range 0 10_000))
+    (fun (kind, salt) ->
+      let ft = route "dfsssp" (Topo_ring.make ~switches:6 ~terminals_per_switch:1) in
+      let g = Routing.Ftable.graph ft in
+      let terminals = Graph.terminals g in
+      let n = Array.length terminals in
+      let pick arr = arr.(salt mod Array.length arr) in
+      match kind with
+      | 0 ->
+        (* drop a mid-route entry *)
+        let src = pick terminals in
+        let dst = terminals.((salt + 1 + (salt mod (n - 1))) mod n) in
+        if src = dst then true
+        else (
+          match Routing.Ftable.path ft ~src ~dst with
+          | None | Some [||] -> true
+          | Some p ->
+            let hole = (Graph.channel g p.(Array.length p - 1)).Channel.src in
+            let bad = copy_table ~drop:[ (hole, dst) ] ft in
+            has_rule (Analysis.Lint.table bad) "A001-unreachable-dest")
+      | 1 ->
+        (* push one route's layer past the declared count *)
+        let src = pick terminals in
+        let dst = terminals.((salt + 1) mod n) in
+        if src = dst then true
+        else begin
+          let bad = copy_table ft in
+          Routing.Ftable.set_layer bad ~src ~dst (Routing.Ftable.num_layers bad + (salt mod 3));
+          has_rule (Analysis.Lint.table bad) "A004-layer-transition"
+        end
+      | _ ->
+        (* no mutation: fresh tables stay clean and certified *)
+        let r = Analysis.Analyzer.analyze ft in
+        Analysis.Analyzer.ok r && r.Analysis.Analyzer.findings = [])
+
+(* ------------------------------------------------------------------ *)
+(* Ftable_io round trip                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_ftable_io_roundtrip_analyze () =
+  let ft = torus_table () in
+  let path = Filename.temp_file "cert_roundtrip" ".ftbl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Routing.Ftable_io.save path ft;
+      match Routing.Ftable_io.load path with
+      | Error msg -> Alcotest.failf "load: %s" msg
+      | Ok ft' ->
+        (* channel ids are not stable across the Serial round trip (link
+           order is canonicalized), so the reloaded table earns its own
+           certificate rather than reusing the original's *)
+        let r = Analysis.Analyzer.analyze ft' in
+        check Alcotest.int "findings" 0 (List.length r.Analysis.Analyzer.findings);
+        check Alcotest.bool "certified" true (Analysis.Analyzer.ok r);
+        check Alcotest.int "layer count preserved" (Routing.Ftable.num_layers ft)
+          (Routing.Ftable.num_layers ft'))
+
+(* ------------------------------------------------------------------ *)
+(* The epoch-swap gate                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_epoch_gate_refuses_uncertified () =
+  let epochs = Fabric.Epoch.create () in
+  let bad = clockwise_ring ~switches:8 in
+  (match Fabric.Epoch.try_swap epochs ~label:"bad" bad with
+  | Ok _, _ -> Alcotest.fail "cyclic table must not swap in"
+  | Error msg, _ ->
+    check Alcotest.bool (Printf.sprintf "refusal names the certificate: %S" msg) true
+      (String.length msg >= 11 && String.sub msg 0 11 = "certificate"));
+  check Alcotest.int "epoch unchanged" 0 (Fabric.Epoch.epoch epochs);
+  check Alcotest.bool "no active tables" true (Fabric.Epoch.active epochs = None);
+  let good = route "dfsssp" (Topo_ring.make ~switches:8 ~terminals_per_switch:1) in
+  (match Fabric.Epoch.try_swap epochs ~label:"good" good with
+  | Ok _, _ -> ()
+  | Error msg, _ -> Alcotest.failf "certified table refused: %s" msg);
+  check Alcotest.int "epoch advanced" 1 (Fabric.Epoch.epoch epochs)
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "cert",
+        [
+          Alcotest.test_case "certifies dfsssp on the paper seeds" `Quick test_certify_seeds;
+          Alcotest.test_case "fresh dfsssp/lash/updown tables are clean" `Quick test_fresh_tables_clean;
+          Alcotest.test_case "checker rejects corrupted certificates" `Quick test_cert_rejects_corruption;
+          Alcotest.test_case "cyclic layer refused (clockwise ring)" `Quick test_cyclic_layer_refused;
+          Alcotest.test_case "merged layers refused" `Quick test_merged_layers_refused;
+          Alcotest.test_case "certificate text round trip" `Quick test_cert_text_roundtrip;
+        ] );
+      ( "lint",
+        [
+          Alcotest.test_case "A001 dropped entry" `Quick test_a001_dropped_entry;
+          Alcotest.test_case "A002 two-cycle" `Quick test_a002_two_cycle;
+          Alcotest.test_case "A003 port range (via view)" `Quick test_a003_port_range;
+          Alcotest.test_case "A004 layer overflow" `Quick test_a004_layer_overflow;
+          Alcotest.test_case "A005 dead entry (degraded fabric)" `Quick test_a005_dead_entry;
+          Alcotest.test_case "A006 hop budget" `Quick test_a006_hop_budget;
+          mutation_property;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "Ftable_io save/load/analyze" `Quick test_ftable_io_roundtrip_analyze;
+          Alcotest.test_case "epoch gate refuses uncertified tables" `Quick test_epoch_gate_refuses_uncertified;
+        ] );
+    ]
