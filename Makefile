@@ -1,11 +1,12 @@
-.PHONY: all check test lint doc clean bench-cdg
+.PHONY: all check test lint doc clean bench-cdg bench-routing
 
 all:
 	dune build
 
 # The tier-1 gate: everything compiles (dev and release profiles),
-# every test suite passes, and the routing certifier signs off on the
-# example topologies.
+# every test suite passes (runtest includes test_parallel, the 2-domain
+# determinism smoke of the parallel routing pipeline), and the routing
+# certifier signs off on the example topologies.
 check:
 	dune build && dune build --profile release && dune runtest && $(MAKE) lint
 
@@ -22,6 +23,14 @@ lint:
 # speedup or the zero-allocation hot-loop target is missed.
 bench-cdg:
 	dune exec --profile release bench/cdg_bench.exe
+
+# Domain-parallel routing pipeline benchmark (DESIGN.md §12). Writes
+# bench_results/routing_parallel.json with sequential vs parallel
+# SSSP + cycle-breaking times; the >= 2x pipeline speedup gate is
+# enforced only when >= 4 hardware domains are available, and recorded
+# as skipped in the JSON otherwise.
+bench-routing:
+	dune exec --profile release bench/routing_bench.exe
 
 doc:
 	dune build @doc

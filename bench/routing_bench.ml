@@ -1,0 +1,189 @@
+(* Benchmark gate for the domain-parallel routing pipeline (DESIGN.md
+   section 12): times the SSSP + cycle-breaking pipeline sequentially
+   (the legacy per-destination recurrence) and through the
+   batched-snapshot parallel driver, per topology, and writes
+   bench_results/routing_parallel.json with per-stage times and speedup
+   fields.
+
+   The >= 2x pipeline-speedup target on the 4096-endpoint XGFT is only
+   enforceable when the machine actually has domains to spend: with
+   fewer than 4 hardware domains the gate is recorded as skipped in the
+   JSON (and the exit code stays 0) rather than reporting a number the
+   hardware cannot produce. The parallel path still runs — on at least
+   2 domains — so this doubles as a smoke test of the pool machinery. *)
+
+let time_best f =
+  let best = ref infinity in
+  let result = ref None in
+  for _ = 1 to 3 do
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt;
+    result := Some r
+  done;
+  (1000.0 *. !best, Option.get !result)
+
+(* ------------------------------------------------------------------ *)
+(* Workloads: the cdg_bench trio, routed toward a sampled destination
+   subset so the big fabrics stay tractable.                            *)
+(* ------------------------------------------------------------------ *)
+
+type workload = {
+  name : string;
+  graph : Graph.t;
+  dsts : int array;
+}
+
+let build_workload name g ~num_dsts =
+  let terminals = Graph.terminals g in
+  let nt = Array.length terminals in
+  let num_dsts = min num_dsts nt in
+  let dsts = Array.init num_dsts (fun j -> terminals.(j * nt / num_dsts)) in
+  { name; graph = g; dsts }
+
+(* ------------------------------------------------------------------ *)
+(* The pipeline: SSSP toward the destination subset, then path
+   extraction into a route store and offline cycle-breaking
+   (Algorithm 2) — the work fabric_tool does per routing pass.          *)
+(* ------------------------------------------------------------------ *)
+
+let sssp_stage ?batch ?domains ?pool w () =
+  let weights = Sssp.initial_weights w.graph in
+  let ft = Ftable.create w.graph ~algorithm:"bench" in
+  (match Sssp.route_destinations ?batch ?domains ?pool w.graph ~weights ~ft ~dsts:w.dsts with
+  | Ok () -> ()
+  | Error msg -> failwith (Printf.sprintf "%s: routing failed: %s" w.name msg));
+  ft
+
+let break_stage w ft () =
+  let terminals = Graph.terminals w.graph in
+  let num_dsts = Array.length w.dsts in
+  let store = Route_store.create w.graph ~capacity:(Array.length terminals * num_dsts) in
+  Array.iteri
+    (fun si src ->
+      Array.iteri
+        (fun j dst ->
+          if src <> dst then
+            let pair = (si * num_dsts) + j in
+            if not (Ftable.path_into ft store ~pair ~src ~dst) then
+              failwith (Printf.sprintf "%s: no route %d -> %d" w.name src dst))
+        w.dsts)
+    terminals;
+  match Layers.assign_store store ~max_layers:64 ~heuristic:Heuristic.Weakest with
+  | Ok o -> o.Layers.layers_used
+  | Error msg -> failwith (Printf.sprintf "%s: cycle breaking failed: %s" w.name msg)
+
+type row = {
+  wname : string;
+  endpoints : int;
+  num_dsts : int;
+  seq_sssp_ms : float;
+  seq_break_ms : float;
+  par_sssp_ms : float;
+  par_break_ms : float;
+  layers : int;
+}
+
+let sssp_speedup r = r.seq_sssp_ms /. r.par_sssp_ms
+
+let pipeline_speedup r =
+  (r.seq_sssp_ms +. r.seq_break_ms) /. (r.par_sssp_ms +. r.par_break_ms)
+
+let measure ~batch ~pool w =
+  Printf.eprintf "measuring %s...\n%!" w.name;
+  let seq_sssp_ms, seq_ft = time_best (sssp_stage w) in
+  let seq_break_ms, seq_layers = time_best (break_stage w seq_ft) in
+  let par_sssp_ms, par_ft = time_best (sssp_stage ~batch ~pool w) in
+  let par_break_ms, par_layers = time_best (break_stage w par_ft) in
+  (* Determinism smoke: a second parallel run must reproduce the table
+     bit-for-bit (test/test_parallel.ml proves the full contract). *)
+  ignore seq_ft;
+  let repeat_ft = sssp_stage ~batch ~pool w () in
+  if (Ftable.diff par_ft repeat_ft).Ftable.entries_changed <> 0 then
+    failwith (w.name ^ ": parallel pipeline not deterministic");
+  {
+    wname = w.name;
+    endpoints = Graph.num_terminals w.graph;
+    num_dsts = Array.length w.dsts;
+    seq_sssp_ms;
+    seq_break_ms;
+    par_sssp_ms;
+    par_break_ms;
+    layers = max seq_layers par_layers;
+  }
+
+let json_row r =
+  Printf.sprintf
+    {|    {
+      "name": "%s", "endpoints": %d, "destinations": %d, "layers": %d,
+      "sssp_ms": {"sequential": %.3f, "parallel": %.3f, "speedup": %.2f},
+      "break_ms": {"sequential": %.3f, "parallel": %.3f},
+      "pipeline_ms": {"sequential": %.3f, "parallel": %.3f, "speedup": %.2f}
+    }|}
+    r.wname r.endpoints r.num_dsts r.layers r.seq_sssp_ms r.par_sssp_ms (sssp_speedup r)
+    r.seq_break_ms r.par_break_ms
+    (r.seq_sssp_ms +. r.seq_break_ms)
+    (r.par_sssp_ms +. r.par_break_ms)
+    (pipeline_speedup r)
+
+let () =
+  let available = Domain.recommended_domain_count () in
+  let domains = max 2 (min available 4) in
+  let batch = Sssp.recommended_batch in
+  let workloads =
+    [
+      build_workload "xgft-4096"
+        (Topo_xgft.make ~ms:[| 64; 64 |] ~ws:[| 1; 32 |] ~endpoints:4096)
+        ~num_dsts:64;
+      build_workload "torus-16x16"
+        (fst (Topo_torus.torus ~dims:[| 16; 16 |] ~terminals_per_switch:4))
+        ~num_dsts:128;
+      build_workload "torus-64x64"
+        (fst (Topo_torus.torus ~dims:[| 64; 64 |] ~terminals_per_switch:1))
+        ~num_dsts:16;
+    ]
+  in
+  (* Allocator warmup, as in cdg_bench: first-touch page faults would
+     bill whichever pipeline runs first. *)
+  List.iter (fun w -> ignore (sssp_stage w ())) workloads;
+  let pool = Sssp.create_pool ~domains () in
+  let rows =
+    Fun.protect
+      ~finally:(fun () -> Sssp.destroy_pool pool)
+      (fun () -> List.map (measure ~batch ~pool) workloads)
+  in
+  List.iter
+    (fun r ->
+      Printf.printf
+        "%-12s %5d endpoints, %3d dsts | sssp %8.2f vs %8.2f ms (%.2fx) | break %8.2f vs %8.2f ms \
+         | pipeline %.2fx\n"
+        r.wname r.endpoints r.num_dsts r.seq_sssp_ms r.par_sssp_ms (sssp_speedup r) r.seq_break_ms
+        r.par_break_ms (pipeline_speedup r))
+    rows;
+  let big = List.find (fun r -> r.endpoints >= 4096) rows in
+  let gate_enforced = available >= 4 in
+  let gate_ok = pipeline_speedup big >= 2.0 in
+  let gate_status =
+    if not gate_enforced then
+      Printf.sprintf "skipped: %d hardware domain%s available (gate needs >= 4)" available
+        (if available = 1 then "" else "s")
+    else if gate_ok then "pass"
+    else "fail"
+  in
+  (try
+     if not (Sys.file_exists "bench_results") then Unix.mkdir "bench_results" 0o755;
+     let oc = open_out "bench_results/routing_parallel.json" in
+     Printf.fprintf oc
+       "{\n  \"benchmark\": \"routing_parallel\",\n  \"domains_available\": %d,\n  \
+        \"domains_used\": %d,\n  \"batch\": %d,\n  \"topologies\": [\n%s\n  ],\n  \
+        \"gate\": {\"target\": \"pipeline speedup >= 2.0 on %s with >= 4 domains\", \"status\": \
+        \"%s\"}\n}\n"
+       available domains batch
+       (String.concat ",\n" (List.map json_row rows))
+       big.wname gate_status;
+     close_out oc
+   with Unix.Unix_error _ | Sys_error _ -> prerr_endline "warning: could not write bench_results");
+  Printf.printf "speedup gate (>= 2x pipeline on %s, %d domains available): %s\n" big.wname
+    available (String.uppercase_ascii gate_status);
+  if gate_enforced && not gate_ok then exit 1

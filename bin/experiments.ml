@@ -23,15 +23,15 @@ let known =
     ("table2", "Table II: NAS improvements");
   ]
 
-let run name scale patterns max_endpoints trials csv_dir =
+let run name scale patterns max_endpoints trials domains csv_dir =
   let table =
     match String.lowercase_ascii name with
     | "table1" -> Some (Harness.Tableone.table ())
-    | "fig4" -> Some (Harness.Fig_bandwidth.fig4 ~scale ~patterns ())
-    | "fig5" -> Some (Harness.Fig_bandwidth.fig5 ~max_endpoints ~patterns ())
-    | "fig6" -> Some (Harness.Fig_bandwidth.fig6 ~max_endpoints ~patterns ())
-    | "fig7" -> Some (Harness.Fig_runtime.fig7 ~max_endpoints ())
-    | "fig8" -> Some (Harness.Fig_runtime.fig8 ~scale ())
+    | "fig4" -> Some (Harness.Fig_bandwidth.fig4 ~scale ~patterns ?domains ())
+    | "fig5" -> Some (Harness.Fig_bandwidth.fig5 ~max_endpoints ~patterns ?domains ())
+    | "fig6" -> Some (Harness.Fig_bandwidth.fig6 ~max_endpoints ~patterns ?domains ())
+    | "fig7" -> Some (Harness.Fig_runtime.fig7 ~max_endpoints ?domains ())
+    | "fig8" -> Some (Harness.Fig_runtime.fig8 ~scale ?domains ())
     | "fig9" -> Some (Harness.Fig_vls.fig9 ~trials ())
     | "fig9-full" ->
       Some
@@ -79,12 +79,22 @@ let max_endpoints =
 let trials =
   Arg.(value & opt int 10 & info [ "trials" ] ~docv:"N" ~doc:"Random topology seeds for Fig. 9 / heuristics.")
 
+let domains =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"D"
+        ~doc:
+          "Use $(docv) domains: Figs. 4-6 fill their bandwidth grids with a worker pool (identical \
+           numbers), Figs. 7-8 time the batched-snapshot routing pipeline; omitted, everything runs \
+           sequentially.")
+
 let csv = Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR" ~doc:"Also write the table as CSV into $(docv).")
 
 let cmd =
   let doc = "regenerate one table or figure of the DFSSSP paper" in
   Cmd.v
     (Cmd.info "experiments" ~version:"1.0.0" ~doc)
-    Term.(const run $ experiment_name $ scale $ patterns $ max_endpoints $ trials $ csv)
+    Term.(const run $ experiment_name $ scale $ patterns $ max_endpoints $ trials $ domains $ csv)
 
 let () = exit (Cmd.eval' cmd)

@@ -232,14 +232,26 @@ let analyze_cmd =
    convergence after every event. *)
 let manage_cmd =
   let run spec events seed schedule_file removals drains algorithm max_layers layer_budget
-      repair_fraction print_schedule =
+      repair_fraction batch domains print_schedule =
     let layer_budget = Option.value ~default:max_layers layer_budget in
+    (* --batch unset: snapshot in recommended batches when the pipeline
+       is on (--domains > 1), stay on the sequential recurrence
+       otherwise. *)
+    let batch =
+      match batch with
+      | Some b -> b
+      | None -> if domains > 1 then Routing.Sssp.recommended_batch else 1
+    in
     if max_layers < 1 || layer_budget < 1 then begin
       prerr_endline "manage: --max-layers and --layer-budget must be at least 1";
       2
     end
     else if repair_fraction < 0.0 || repair_fraction > 1.0 then begin
       prerr_endline "manage: --repair-fraction must be within [0, 1]";
+      2
+    end
+    else if batch < 1 || domains < 1 then begin
+      prerr_endline "manage: --batch and --domains must be at least 1";
       2
     end
     else
@@ -249,7 +261,9 @@ let manage_cmd =
         2
       | Ok t -> (
         let g = t.Harness.Topospec.graph in
-        let config = { Fabric.Manager.algorithm; max_layers; layer_budget; repair_fraction } in
+        let config =
+          { Fabric.Manager.algorithm; max_layers; layer_budget; repair_fraction; batch; domains }
+        in
       let schedule =
         match schedule_file with
         | Some path -> (
@@ -283,14 +297,18 @@ let manage_cmd =
               Format.printf "[%2d] %a@." (i + 1) Fabric.Manager.pp_outcome o)
             schedule;
           Format.printf "@.convergence report@.%a@." Fabric.Manager.pp_summary mgr;
-          if Fabric.Manager.converged mgr then begin
-            Format.printf "converged: every applied event ended in a verified table swap@.";
-            0
-          end
-          else begin
-            Format.printf "NOT CONVERGED: some applied event left unverified tables@.";
-            1
-          end))
+          let code =
+            if Fabric.Manager.converged mgr then begin
+              Format.printf "converged: every applied event ended in a verified table swap@.";
+              0
+            end
+            else begin
+              Format.printf "NOT CONVERGED: some applied event left unverified tables@.";
+              1
+            end
+          in
+          Fabric.Manager.release mgr;
+          code))
   in
   let spec = Arg.(required & pos 0 (some string) None & info [] ~docv:"SPEC") in
   let events =
@@ -332,6 +350,21 @@ let manage_cmd =
       & info [ "repair-fraction" ] ~docv:"F"
           ~doc:"Max fraction of destinations repaired incrementally; above it, full recompute.")
   in
+  let batch =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "batch" ] ~docv:"B"
+          ~doc:
+            "Destinations per weight snapshot in full recomputes (default: the recommended batch \
+             when --domains > 1, else 1 = the sequential recurrence).")
+  in
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"D"
+          ~doc:"Routing domains for full recomputes (a persistent worker pool when > 1).")
+  in
   let print_schedule =
     Arg.(value & flag & info [ "print-schedule" ] ~doc:"Echo the schedule before replaying it.")
   in
@@ -340,7 +373,7 @@ let manage_cmd =
        ~doc:"run the live fabric manager over a fault schedule and print a convergence report")
     Term.(
       const run $ spec $ events $ seed $ schedule_file $ removals $ drains $ algorithm $ max_layers
-      $ layer_budget $ repair_fraction $ print_schedule)
+      $ layer_budget $ repair_fraction $ batch $ domains $ print_schedule)
 
 let () =
   let doc = "fabric generation, inspection and conversion utilities" in

@@ -11,11 +11,16 @@ type algorithm = {
 
 (** The paper's line-up, in its Fig. 4 legend order:
     MinHop, Up*/Down*, FatTree, DOR, LASH, SSSP, DFSSSP.
-    [coords] enables DOR on grid fabrics; without it DOR refuses. *)
-val all : ?coords:Coords.t -> ?max_layers:int -> unit -> algorithm list
+    [coords] enables DOR on grid fabrics; without it DOR refuses.
+    [batch]/[domains] select the batched-snapshot pipeline (DESIGN.md
+    section 12) on the engines that support it — [batch] changes the
+    tables (defaults to the sequential recurrence), [domains] only the
+    wall-clock; LASH ignores both. *)
+val all : ?coords:Coords.t -> ?max_layers:int -> ?batch:int -> ?domains:int -> unit -> algorithm list
 
 (** [find ?coords name] is case-insensitive; accepts "dfsssp-online" for
     the online variant. *)
-val find : ?coords:Coords.t -> ?max_layers:int -> string -> algorithm option
+val find :
+  ?coords:Coords.t -> ?max_layers:int -> ?batch:int -> ?domains:int -> string -> algorithm option
 
 val names : string list

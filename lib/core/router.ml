@@ -47,8 +47,8 @@ let assign_layers ?(variant = Offline) ?(heuristic = Heuristic.Weakest) ?(max_la
       apply_layers ft store layer_of_path layers_used;
       Ok ft)
 
-let route ?variant ?heuristic ?max_layers ?balance g =
-  match Routing.Sssp.route g with
+let route ?variant ?heuristic ?max_layers ?balance ?batch ?domains ?pool g =
+  match Routing.Sssp.route ?batch ?domains ?pool g with
   | Error msg -> Error (Routing_failed msg)
   | Ok ft -> (
     match assign_layers ?variant ?heuristic ?max_layers ?balance ft with
@@ -63,27 +63,43 @@ let route ?variant ?heuristic ?max_layers ?balance g =
       Log.err (fun m -> m "%s" (error_to_string e));
       err)
 
-let layers_required ?variant ?heuristic ?max_layers g =
-  match route ?variant ?heuristic ?max_layers g with
+let layers_required ?variant ?heuristic ?max_layers ?batch ?domains g =
+  match route ?variant ?heuristic ?max_layers ?batch ?domains g with
   | Error e -> Error e
   | Ok ft -> Ok (Routing.Ftable.num_layers ft)
 
-let route_min_layers ?(max_layers = 8) g =
+let route_min_layers ?(max_layers = 8) ?batch ?(domains = 1) g =
   (* Try every cycle-breaking heuristic and keep the assignment with the
      fewest layers — cheap insurance against the APP heuristic gap the
-     paper leaves open (Section IV). *)
+     paper leaves open (Section IV). With [domains > 1] the heuristics
+     run concurrently (each full route is independent of the others; the
+     inner routes stay single-domain so the machine is not
+     oversubscribed); the winner is picked by (layers, heuristic order),
+     identical to the sequential scan. *)
+  let heuristics = Array.of_list Heuristic.all in
+  let nh = Array.length heuristics in
+  let results = Array.make nh (Error (Routing_failed "not attempted")) in
+  let run _scratch i = results.(i) <- route ~heuristic:heuristics.(i) ~max_layers ?batch g in
+  if domains > 1 && nh > 1 then
+    Parallel.Pool.with_pool ~domains
+      (fun _slot -> ())
+      (fun pool -> Parallel.Pool.run pool ~n:nh ~grain:1 run)
+  else
+    for i = 0 to nh - 1 do
+      run () i
+    done;
   let best = ref None in
   let last_error = ref None in
-  List.iter
-    (fun heuristic ->
-      match route ~heuristic ~max_layers g with
+  Array.iteri
+    (fun i result ->
+      match result with
       | Error e -> last_error := Some e
       | Ok ft -> (
         let layers = Routing.Ftable.num_layers ft in
         match !best with
         | Some (_, _, best_layers) when best_layers <= layers -> ()
-        | _ -> best := Some (ft, heuristic, layers)))
-    Heuristic.all;
+        | _ -> best := Some (ft, heuristics.(i), layers)))
+    results;
   match (!best, !last_error) with
   | Some (ft, heuristic, _), _ -> Ok (ft, heuristic)
   | None, Some e -> Error e

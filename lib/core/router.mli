@@ -35,6 +35,9 @@ val error_to_string : error -> string
     - [balance] (default [false]) additionally spreads routes over the
       unused layers afterwards (the tail of Algorithm 2). The reported
       {!Routing.Ftable.num_layers} remains the number {e required}.
+    - [batch]/[domains]/[pool] select {!Routing.Sssp}'s batched-snapshot
+      pipeline for the SSSP stage (defaults reproduce the sequential
+      recurrence; see DESIGN.md section 12).
 
     The result carries per-route layers; {!Verify.deadlock_free} holds on
     every successful result. *)
@@ -43,6 +46,9 @@ val route :
   ?heuristic:Heuristic.t ->
   ?max_layers:int ->
   ?balance:bool ->
+  ?batch:int ->
+  ?domains:int ->
+  ?pool:Routing.Sssp.pool ->
   Graph.t ->
   (Ftable.t, error) result
 
@@ -52,6 +58,8 @@ val layers_required :
   ?variant:variant ->
   ?heuristic:Heuristic.t ->
   ?max_layers:int ->
+  ?batch:int ->
+  ?domains:int ->
   Graph.t ->
   (int, error) result
 
@@ -72,5 +80,11 @@ val assign_layers :
 (** [route_min_layers ?max_layers g] runs the offline assignment under
     every heuristic and keeps the result using the fewest virtual layers
     (APP is NP-complete, so no single heuristic dominates — paper
-    Section IV). Returns the winning table and its heuristic. *)
-val route_min_layers : ?max_layers:int -> Graph.t -> (Ftable.t * Heuristic.t, error) result
+    Section IV). Returns the winning table and its heuristic.
+
+    [domains > 1] runs the heuristics concurrently (each inner route
+    stays single-domain); the winner — by (layers, heuristic order) — is
+    identical to the sequential scan's. [batch] is forwarded to the SSSP
+    stage and, unlike [domains], changes the routes themselves. *)
+val route_min_layers :
+  ?max_layers:int -> ?batch:int -> ?domains:int -> Graph.t -> (Ftable.t * Heuristic.t, error) result

@@ -7,9 +7,19 @@ type config = {
   max_layers : int;
   layer_budget : int;
   repair_fraction : float;
+  batch : int;
+  domains : int;
 }
 
-let default_config = { algorithm = "dfsssp"; max_layers = 8; layer_budget = 8; repair_fraction = 0.5 }
+let default_config =
+  {
+    algorithm = "dfsssp";
+    max_layers = 8;
+    layer_budget = 8;
+    repair_fraction = 0.5;
+    batch = 1;
+    domains = 1;
+  }
 
 type action =
   | Incremental of {
@@ -38,6 +48,10 @@ type t = {
   metrics : Metrics.t;
   mutable weights : int array;
   mutable outcomes : outcome list; (* newest first *)
+  mutable pool : Sssp.pool option;
+      (* persistent routing-domain pool ([domains > 1] only): scratch is
+         epoch-stamped, so the same pool serves every full recompute even
+         across structural rebuilds of the graph *)
 }
 
 let config t = t.config
@@ -61,7 +75,7 @@ let full_route t =
   let g = Fabstate.graph t.state in
   if t.config.algorithm = "dfsssp" then begin
     t.weights <- Sssp.initial_weights g;
-    match Sssp.route_plane g ~weights:t.weights with
+    match Sssp.route_plane ~batch:t.config.batch ?pool:t.pool g ~weights:t.weights with
     | Error msg -> Error msg
     | Ok ft -> (
       match Dfsssp.assign_layers ~max_layers:t.config.max_layers ft with
@@ -69,13 +83,25 @@ let full_route t =
       | Error e -> Error (Dfsssp.error_to_string e))
   end
   else
-    match Dfsssp.Registry.find ~max_layers:t.config.max_layers t.config.algorithm with
+    match
+      Dfsssp.Registry.find ~max_layers:t.config.max_layers ~batch:t.config.batch
+        ~domains:t.config.domains t.config.algorithm
+    with
     | None -> Error (Printf.sprintf "unknown algorithm %S" t.config.algorithm)
     | Some a -> a.Dfsssp.Registry.run g
+
+let release t =
+  match t.pool with
+  | None -> ()
+  | Some pool ->
+    Sssp.destroy_pool pool;
+    t.pool <- None
 
 let create ?(config = default_config) g =
   if config.max_layers < 1 then invalid_arg "Manager.create: max_layers < 1";
   if config.layer_budget < 1 then invalid_arg "Manager.create: layer_budget < 1";
+  if config.batch < 1 then invalid_arg "Manager.create: batch < 1";
+  if config.domains < 1 then invalid_arg "Manager.create: domains < 1";
   if Graph.num_terminals g < 2 then Error "Manager.create: fabric has fewer than two terminals"
   else begin
     let t =
@@ -86,14 +112,18 @@ let create ?(config = default_config) g =
         metrics = Metrics.create ();
         weights = Sssp.initial_weights g;
         outcomes = [];
+        pool = (if config.domains > 1 then Some (Sssp.create_pool ~domains:config.domains ()) else None);
       }
     in
     match full_route t with
-    | Error msg -> Error msg
+    | Error msg ->
+      release t;
+      Error msg
     | Ok ft -> (
       match Epoch.try_swap t.epochs ~label:"initial" ft with
       | Error msg, verify_s ->
         t.metrics.Metrics.verify_s <- t.metrics.Metrics.verify_s +. verify_s;
+        release t;
         Error (Printf.sprintf "initial tables rejected: %s" msg)
       | Ok _, verify_s ->
         t.metrics.Metrics.verify_s <- t.metrics.Metrics.verify_s +. verify_s;

@@ -21,10 +21,20 @@ type config = {
   repair_fraction : float;
       (** incremental repair only when at most this fraction of
           destinations is affected; above it, recompute everything *)
+  batch : int;
+      (** destinations per weight snapshot in full recomputes (the
+          batched-snapshot pipeline, DESIGN.md section 12); 1 = the
+          sequential recurrence. Changes the tables a full recompute
+          produces (still minimal, still balanced) *)
+  domains : int;
+      (** routing domains for full recomputes; with [> 1] the manager
+          holds a persistent worker pool for its whole lifetime (release
+          with {!release}). Never changes the tables, only the
+          wall-clock *)
 }
 
 (** [{ algorithm = "dfsssp"; max_layers = 8; layer_budget = 8;
-    repair_fraction = 0.5 }] *)
+    repair_fraction = 0.5; batch = 1; domains = 1 }] *)
 val default_config : config
 
 type action =
@@ -87,6 +97,11 @@ val run : t -> Schedule.t -> outcome list
     far ended in a verified swap (the convergence criterion of
     [fabric_tool manage]). *)
 val converged : t -> bool
+
+(** [release t] shuts down the manager's routing-domain pool (a no-op
+    when [domains = 1] or already released). The manager remains usable;
+    later full recomputes simply run without a persistent pool. *)
+val release : t -> unit
 
 val pp_outcome : Format.formatter -> outcome -> unit
 

@@ -43,12 +43,12 @@ let ebb_of ft ~patterns ~seed =
   (Simulator.Congestion.effective_bisection_bandwidth ~patterns ~rng ft).Simulator.Congestion.samples
     .Simulator.Metrics.mean
 
-let hardened_routings ?(patterns = 30) ?(seed = 21) () =
+let hardened_routings ?(patterns = 30) ?(seed = 21) ?batch ?domains () =
   let g, coords = Topo_torus.torus ~dims:[| 6; 6 |] ~terminals_per_switch:1 in
   let rows =
     List.filter_map
       (fun name ->
-        match Runs.run_named ~coords ~max_layers:8 name g with
+        match Runs.run_named ~coords ~max_layers:8 ?batch ?domains name g with
         | Error _ -> None
         | Ok ft ->
           Some
@@ -68,12 +68,12 @@ let hardened_routings ?(patterns = 30) ?(seed = 21) () =
     notes = [ "df* = base routes unchanged, offline cycle-breaking applied on top" ];
   }
 
-let dragonfly ?(patterns = 30) ?(seed = 22) () =
+let dragonfly ?(patterns = 30) ?(seed = 22) ?batch ?domains () =
   let g = Topo_dragonfly.make ~a:4 ~p:2 ~h:2 () in
   let rows =
     List.map
       (fun name ->
-        match Runs.run_named ~max_layers:8 name g with
+        match Runs.run_named ~max_layers:8 ?batch ?domains name g with
         | Error _ ->
           [ Report.Str name; Report.Missing; Report.Missing; Report.Missing; Report.Missing; Report.Missing ]
         | Ok ft -> (
@@ -257,12 +257,12 @@ let multipath ?(matchings = 20) ?(seed = 29) () =
       ];
   }
 
-let routing_quality ?(scale = 8) () =
+let routing_quality ?(scale = 8) ?batch ?domains () =
   let g = (Clusters.deimos ~scale ()).Clusters.graph in
   let rows =
     List.filter_map
       (fun name ->
-        match Runs.run_named name g with
+        match Runs.run_named ?batch ?domains name g with
         | Error _ ->
           Some
             [

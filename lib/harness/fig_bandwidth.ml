@@ -2,14 +2,35 @@ let header = "fabric" :: Runs.paper_algorithms
 
 let sweep_note patterns = Printf.sprintf "%d random bisection patterns per cell; 1.0 = full wire speed" patterns
 
-let fig4 ?(scale = 4) ?(patterns = 50) ?(seed = 1) () =
+(* One eBB cell per (fabric, algorithm) pair. Every cell routes and
+   simulates independently with its own seeded RNG, so with [domains > 1]
+   the grid is filled by a worker pool, cell by cell — same numbers in
+   any case, the domains only shorten the sweep's wall-clock. *)
+let ebb_grid ?(domains = 1) ~patterns ~seed graphs =
+  let algs = Array.of_list Runs.paper_algorithms in
+  let gs = Array.of_list graphs in
+  let na = Array.length algs in
+  let n = Array.length gs * na in
+  let out = Array.make n Report.Missing in
+  let compute i = out.(i) <- Runs.ebb_cell ~patterns ~seed algs.(i mod na) gs.(i / na) in
+  if domains <= 1 then
+    for i = 0 to n - 1 do
+      compute i
+    done
+  else
+    Parallel.Pool.with_pool ~domains
+      (fun _slot -> ())
+      (fun pool -> Parallel.Pool.run pool ~n ~grain:1 (fun () i -> compute i));
+  List.init (Array.length gs) (fun r -> Array.to_list (Array.sub out (r * na) na))
+
+let fig4 ?(scale = 4) ?(patterns = 50) ?(seed = 1) ?domains () =
   let systems = Clusters.all ~scale () in
+  let grid = ebb_grid ?domains ~patterns ~seed (List.map (fun (s : Clusters.system) -> s.graph) systems) in
   let rows =
-    List.map
-      (fun (s : Clusters.system) ->
-        Report.Str (Printf.sprintf "%s(%d)" s.name (Graph.num_terminals s.graph))
-        :: List.map (fun alg -> Runs.ebb_cell ~patterns ~seed alg s.graph) Runs.paper_algorithms)
-      systems
+    List.map2
+      (fun (s : Clusters.system) cells ->
+        Report.Str (Printf.sprintf "%s(%d)" s.name (Graph.num_terminals s.graph)) :: cells)
+      systems grid
   in
   {
     Report.title = Printf.sprintf "Fig. 4: effective bisection bandwidth, real systems (scale 1/%d)" scale;
@@ -22,19 +43,18 @@ let fig4 ?(scale = 4) ?(patterns = 50) ?(seed = 1) () =
       ];
   }
 
-let sweep title graph_of ?(max_endpoints = 1024) ?(patterns = 50) ?(seed = 1) () =
+let sweep title graph_of ?(max_endpoints = 1024) ?(patterns = 50) ?(seed = 1) ?domains () =
+  let sizes = Tableone.rows_up_to max_endpoints in
+  let grid = ebb_grid ?domains ~patterns ~seed (List.map graph_of sizes) in
   let rows =
-    List.map
-      (fun (r : Tableone.row) ->
-        let g = graph_of r in
-        Report.Int r.Tableone.endpoints
-        :: List.map (fun alg -> Runs.ebb_cell ~patterns ~seed alg g) Runs.paper_algorithms)
-      (Tableone.rows_up_to max_endpoints)
+    List.map2 (fun (r : Tableone.row) cells -> Report.Int r.Tableone.endpoints :: cells) sizes grid
   in
   { Report.title; columns = "#endpoints" :: Runs.paper_algorithms; rows; notes = [ sweep_note patterns ] }
 
-let fig5 ?max_endpoints ?patterns ?seed () =
-  sweep "Fig. 5: effective bisection bandwidth, XGFT" Tableone.xgft_graph ?max_endpoints ?patterns ?seed ()
+let fig5 ?max_endpoints ?patterns ?seed ?domains () =
+  sweep "Fig. 5: effective bisection bandwidth, XGFT" Tableone.xgft_graph ?max_endpoints ?patterns
+    ?seed ?domains ()
 
-let fig6 ?max_endpoints ?patterns ?seed () =
-  sweep "Fig. 6: effective bisection bandwidth, Kautz" Tableone.kautz_graph ?max_endpoints ?patterns ?seed ()
+let fig6 ?max_endpoints ?patterns ?seed ?domains () =
+  sweep "Fig. 6: effective bisection bandwidth, Kautz" Tableone.kautz_graph ?max_endpoints ?patterns
+    ?seed ?domains ()

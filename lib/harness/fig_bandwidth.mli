@@ -1,17 +1,21 @@
 (** Effective-bisection-bandwidth experiments: the paper's Fig. 4
     (real-world systems), Fig. 5 (XGFT sweep) and Fig. 6 (Kautz sweep).
     Each cell is the mean bandwidth share over random bisection patterns
-    (1.0 = uncongested); [-] marks an algorithm that refused the fabric. *)
+    (1.0 = uncongested); [-] marks an algorithm that refused the fabric.
+
+    Cells are independent (each routes and simulates with its own seeded
+    RNG), so [domains > 1] fills the grid with a worker pool — identical
+    numbers, shorter sweep. *)
 
 (** [fig4 ?scale ?patterns ?seed ()]: one row per real-world system
     stand-in, one column per algorithm. [scale] divides system sizes
     (default 4 — see DESIGN.md §8); [patterns] random bisections per cell
     (default 50). *)
-val fig4 : ?scale:int -> ?patterns:int -> ?seed:int -> unit -> Report.table
+val fig4 : ?scale:int -> ?patterns:int -> ?seed:int -> ?domains:int -> unit -> Report.table
 
 (** [fig5 ?max_endpoints ?patterns ?seed ()]: XGFT sweep over Table I
     sizes up to [max_endpoints] (default 1024). *)
-val fig5 : ?max_endpoints:int -> ?patterns:int -> ?seed:int -> unit -> Report.table
+val fig5 : ?max_endpoints:int -> ?patterns:int -> ?seed:int -> ?domains:int -> unit -> Report.table
 
 (** [fig6 ?max_endpoints ?patterns ?seed ()]: Kautz sweep. *)
-val fig6 : ?max_endpoints:int -> ?patterns:int -> ?seed:int -> unit -> Report.table
+val fig6 : ?max_endpoints:int -> ?patterns:int -> ?seed:int -> ?domains:int -> unit -> Report.table

@@ -2,32 +2,45 @@ let algorithms = [ "minhop"; "updown"; "lash"; "sssp"; "dfsssp"; "dfsssp-online"
 
 let note = "wall-clock; includes virtual-layer assignment where the algorithm has one"
 
-let fig7 ?(max_endpoints = 1024) () =
+let pipeline_note = function
+  | None -> []
+  | Some domains ->
+    [ Printf.sprintf "batched-snapshot pipeline: %d domain(s), batch %d" domains Routing.Sssp.recommended_batch ]
+
+(* With [domains] set, the supporting engines run the batched-snapshot
+   pipeline ({!Routing.Sssp.recommended_batch} destinations per
+   snapshot) — the figure then reports the parallel pipeline's runtime
+   instead of the sequential recurrence's. *)
+let cells ?domains g =
+  let batch = Option.map (fun _ -> Routing.Sssp.recommended_batch) domains in
+  List.map (fun alg -> Runs.runtime_cell ?batch ?domains alg g) algorithms
+
+let fig7 ?(max_endpoints = 1024) ?domains () =
   let rows =
     List.map
       (fun (r : Tableone.row) ->
         let g = Tableone.tree_graph r in
-        Report.Int r.Tableone.endpoints :: List.map (fun alg -> Runs.runtime_cell alg g) algorithms)
+        Report.Int r.Tableone.endpoints :: cells ?domains g)
       (Tableone.rows_up_to max_endpoints)
   in
   {
     Report.title = "Fig. 7: routing runtime, k-ary n-tree";
     columns = "#endpoints" :: algorithms;
     rows;
-    notes = [ note ];
+    notes = note :: pipeline_note domains;
   }
 
-let fig8 ?(scale = 4) () =
+let fig8 ?(scale = 4) ?domains () =
   let rows =
     List.map
       (fun (s : Clusters.system) ->
         Report.Str (Printf.sprintf "%s(%d)" s.name (Graph.num_terminals s.graph))
-        :: List.map (fun alg -> Runs.runtime_cell alg s.graph) algorithms)
+        :: cells ?domains s.graph)
       (Clusters.all ~scale ())
   in
   {
     Report.title = Printf.sprintf "Fig. 8: routing runtime, real systems (scale 1/%d)" scale;
     columns = "fabric" :: algorithms;
     rows;
-    notes = [ note ];
+    notes = note :: pipeline_note domains;
   }

@@ -1,8 +1,13 @@
 (** Routing-runtime experiments: the paper's Fig. 7 (k-ary n-tree sweep)
     and Fig. 8 (real systems). Wall-clock seconds to compute the complete
     routing (tables plus, where applicable, the virtual-layer
-    assignment). *)
+    assignment).
 
-val fig7 : ?max_endpoints:int -> unit -> Report.table
+    [domains] times the batched-snapshot pipeline
+    ({!Routing.Sssp.recommended_batch} destinations per snapshot) on that
+    many domains instead of the sequential recurrence; omitted, the
+    figures measure the sequential baseline as before. *)
 
-val fig8 : ?scale:int -> unit -> Report.table
+val fig7 : ?max_endpoints:int -> ?domains:int -> unit -> Report.table
+
+val fig8 : ?scale:int -> ?domains:int -> unit -> Report.table

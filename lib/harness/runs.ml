@@ -1,7 +1,7 @@
 let paper_algorithms = [ "minhop"; "updown"; "ftree"; "dor"; "lash"; "sssp"; "dfsssp" ]
 
-let run_named ?coords ?max_layers name g =
-  match Dfsssp.Registry.find ?coords ?max_layers name with
+let run_named ?coords ?max_layers ?batch ?domains name g =
+  match Dfsssp.Registry.find ?coords ?max_layers ?batch ?domains name with
   | None -> Error (Printf.sprintf "unknown algorithm %S" name)
   | Some alg -> alg.Dfsssp.Registry.run g
 
@@ -35,8 +35,8 @@ let analyzer_run_cell ?coords ?max_layers name g =
   | Error _ -> Report.Missing
   | Ok ft -> analyzer_cell ft
 
-let runtime_cell ?coords name g =
-  match timed (fun () -> run_named ?coords name g) with
+let runtime_cell ?coords ?batch ?domains name g =
+  match timed (fun () -> run_named ?coords ?batch ?domains name g) with
   | _, Error _ -> Report.Missing
   | dt, Ok _ -> Report.Time dt
 

@@ -6,8 +6,16 @@
 val paper_algorithms : string list
 
 (** [run_named ?coords ?max_layers name g] routes [g], or explains why the
-    algorithm refused. *)
-val run_named : ?coords:Coords.t -> ?max_layers:int -> string -> Graph.t -> (Ftable.t, string) result
+    algorithm refused. [batch]/[domains] select the batched-snapshot
+    pipeline on supporting engines (see {!Dfsssp.Registry.all}). *)
+val run_named :
+  ?coords:Coords.t ->
+  ?max_layers:int ->
+  ?batch:int ->
+  ?domains:int ->
+  string ->
+  Graph.t ->
+  (Ftable.t, string) result
 
 (** [timed f] is [(wall-clock seconds, f ())]. *)
 val timed : (unit -> 'a) -> float * 'a
@@ -30,8 +38,9 @@ val analyzer_cell : Ftable.t -> Report.cell
 val analyzer_run_cell : ?coords:Coords.t -> ?max_layers:int -> string -> Graph.t -> Report.cell
 
 (** [runtime_cell name g] is the routing wall-clock time ([Missing] on
-    refusal). *)
-val runtime_cell : ?coords:Coords.t -> string -> Graph.t -> Report.cell
+    refusal). [batch]/[domains] as in {!run_named} — the pipeline whose
+    runtime the cell reports. *)
+val runtime_cell : ?coords:Coords.t -> ?batch:int -> ?domains:int -> string -> Graph.t -> Report.cell
 
 (** [sample_ranks ~rng ~count g] picks [count] distinct terminals uniformly
     (a scattered job allocation); all terminals if [count] exceeds the

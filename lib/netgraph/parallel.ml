@@ -1,5 +1,142 @@
 let recommended_domains () = min 8 (Domain.recommended_domain_count ())
 
+module Pool = struct
+  type 's t = {
+    size : int; (* workers, including the calling domain as slot 0 *)
+    scratch : 's array;
+    lock : Mutex.t;
+    ready : Condition.t; (* a new task was published (or shutdown) *)
+    finished : Condition.t; (* a worker left the current task *)
+    mutable seq : int; (* task sequence number; workers wait for it to move *)
+    mutable task : (int -> unit) option; (* worker slot -> unit *)
+    mutable active : int; (* spawned workers still inside the current task *)
+    mutable stop : bool;
+    mutable workers : unit Domain.t array;
+  }
+
+  (* Spawned workers sleep on [ready] between tasks, so an idle pool costs
+     nothing; the calling domain always participates as slot 0, so a pool
+     of size 1 spawns no domains at all. *)
+  let rec worker_loop pool slot last =
+    Mutex.lock pool.lock;
+    while (not pool.stop) && pool.seq = last do
+      Condition.wait pool.ready pool.lock
+    done;
+    if pool.stop then Mutex.unlock pool.lock
+    else begin
+      let seq = pool.seq in
+      let task = Option.get pool.task in
+      Mutex.unlock pool.lock;
+      task slot;
+      Mutex.lock pool.lock;
+      pool.active <- pool.active - 1;
+      if pool.active = 0 then Condition.broadcast pool.finished;
+      Mutex.unlock pool.lock;
+      worker_loop pool slot seq
+    end
+
+  let create ?domains scratch =
+    let size = max 1 (Option.value domains ~default:(recommended_domains ())) in
+    let pool =
+      {
+        size;
+        scratch = Array.init size scratch;
+        lock = Mutex.create ();
+        ready = Condition.create ();
+        finished = Condition.create ();
+        seq = 0;
+        task = None;
+        active = 0;
+        stop = false;
+        workers = [||];
+      }
+    in
+    pool.workers <- Array.init (size - 1) (fun i -> Domain.spawn (fun () -> worker_loop pool (i + 1) 0));
+    pool
+
+  let size pool = pool.size
+
+  let iter_scratch pool f = Array.iter f pool.scratch
+
+  let run pool ~n ?grain f =
+    if n > 0 then begin
+      if pool.size = 1 || n = 1 then
+        for i = 0 to n - 1 do
+          f pool.scratch.(0) i
+        done
+      else begin
+        let grain = max 1 (Option.value grain ~default:(n / (4 * pool.size))) in
+        let next = Atomic.make 0 in
+        let failure = Atomic.make None in
+        (* chunked work distribution: each worker grabs [grain] indices at a
+           time off a shared cursor, so uneven per-index cost still balances *)
+        let task slot =
+          let s = pool.scratch.(slot) in
+          let continue = ref true in
+          while !continue do
+            let lo = Atomic.fetch_and_add next grain in
+            if lo >= n then continue := false
+            else begin
+              let hi = min n (lo + grain) in
+              try
+                for i = lo to hi - 1 do
+                  f s i
+                done
+              with e ->
+                (match Atomic.get failure with
+                | None -> Atomic.set failure (Some e)
+                | Some _ -> ());
+                continue := false
+            end
+          done
+        in
+        Mutex.lock pool.lock;
+        if pool.stop then begin
+          Mutex.unlock pool.lock;
+          invalid_arg "Parallel.Pool.run: pool is shut down"
+        end;
+        pool.task <- Some task;
+        pool.active <- pool.size - 1;
+        pool.seq <- pool.seq + 1;
+        Condition.broadcast pool.ready;
+        Mutex.unlock pool.lock;
+        task 0;
+        Mutex.lock pool.lock;
+        while pool.active > 0 do
+          Condition.wait pool.finished pool.lock
+        done;
+        pool.task <- None;
+        Mutex.unlock pool.lock;
+        match Atomic.get failure with
+        | Some e -> raise e
+        | None -> ()
+      end
+    end
+
+  let map_reduce pool ~n ?grain ~map ~fold init =
+    if n <= 0 then init
+    else begin
+      let out = Array.make n None in
+      run pool ~n ?grain (fun s i -> out.(i) <- Some (map s i));
+      Array.fold_left (fun acc r -> fold acc (Option.get r)) init out
+    end
+
+  let shutdown pool =
+    Mutex.lock pool.lock;
+    let already = pool.stop in
+    pool.stop <- true;
+    Condition.broadcast pool.ready;
+    Mutex.unlock pool.lock;
+    if not already then begin
+      Array.iter Domain.join pool.workers;
+      pool.workers <- [||]
+    end
+
+  let with_pool ?domains scratch f =
+    let pool = create ?domains scratch in
+    Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+end
+
 let init ?(domains = 1) n f =
   if n <= 0 then [||]
   else if domains <= 1 || n < 2 then Array.init n f

@@ -1,0 +1,34 @@
+(* The batched-snapshot driver behind every domain-parallel table fill
+   (DESIGN.md section 12). Shared balancing state (SSSP channel weights,
+   MinHop/Up*Down* port loads) makes the per-destination loop sequential;
+   freezing that state per batch relaxes the dependency in controlled
+   steps: within a batch every destination reads the same frozen
+   snapshot, so the batch is embarrassingly parallel, and the batch's
+   contributions are merged before the next snapshot is taken. *)
+
+let run ~pool ~batch ~dsts ~freeze ~dest ~merge =
+  let nt = Array.length dsts in
+  let batch = max 1 batch in
+  let error = ref None in
+  let lo = ref 0 in
+  while !error = None && !lo < nt do
+    let base = !lo in
+    let hi = min nt (base + batch) in
+    freeze ();
+    (* Per-slot error cells: the error reported is the one of the lowest
+       destination index, exactly as a sequential scan would find it. *)
+    let errs = Array.make (hi - base) None in
+    Parallel.Pool.run pool ~n:(hi - base) ~grain:1 (fun s k ->
+        match dest s dsts.(base + k) with
+        | Ok () -> ()
+        | Error msg -> errs.(k) <- Some msg);
+    (* Merge per-domain contributions in slot order. The merged state is
+       a sum of per-destination contributions, so any merge order yields
+       identical weights; slot order just makes the walk deterministic. *)
+    Parallel.Pool.iter_scratch pool merge;
+    Array.iter (fun e -> if !error = None && e <> None then error := e) errs;
+    lo := hi
+  done;
+  match !error with
+  | Some msg -> Error msg
+  | None -> Ok ()

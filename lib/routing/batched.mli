@@ -1,0 +1,31 @@
+(** Batched-snapshot destination loop: the common driver of the
+    domain-parallel table fills (SSSP, MinHop, Up*/Down* — DESIGN.md
+    section 12). Destinations are processed in batches; before each
+    batch, [freeze] snapshots the shared balancing state; within a batch
+    every destination is routed against that frozen snapshot on the
+    pool's domains; after the batch, [merge] folds each worker's
+    accumulated contributions back into the shared state, in worker-slot
+    order, before the next snapshot is taken.
+
+    With [batch = 1] the loop is observably identical to the sequential
+    per-destination recurrence (a snapshot of one destination's worth of
+    state is always current). For any fixed [batch], the result is
+    independent of the pool size: destinations only read the snapshot,
+    contributions are per-destination sums merged with commutative
+    addition, and forwarding entries live in per-destination table
+    columns. *)
+
+(** [run ~pool ~batch ~dsts ~freeze ~dest ~merge] routes every
+    destination in [dsts], in batches of [batch] (clamped to [>= 1]).
+    [dest scratch dst] routes one destination using the worker's own
+    scratch; its [Error] stops the loop after the current batch, and the
+    error returned is the one of the lowest destination index, as a
+    sequential scan would find it. Exceptions from [dest] propagate. *)
+val run :
+  pool:'s Parallel.Pool.t ->
+  batch:int ->
+  dsts:int array ->
+  freeze:(unit -> unit) ->
+  dest:('s -> int -> (unit, string) result) ->
+  merge:('s -> unit) ->
+  (unit, string) result

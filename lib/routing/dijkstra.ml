@@ -2,11 +2,21 @@ type workspace = {
   dist : int array;
   via : int array;
   heap : Heap.t;
+  mutable unit_weights : int array;
+      (* per-workspace unit-weight vector for [hops_toward], grown on
+         demand. Keeping it here (rather than in a module-global ref)
+         makes concurrent Dijkstras on separate workspaces race-free:
+         workspaces are confined to one domain each. *)
 }
 
 let workspace g =
   let n = Graph.num_nodes g in
-  { dist = Array.make n max_int; via = Array.make n (-1); heap = Heap.create n }
+  {
+    dist = Array.make n max_int;
+    via = Array.make n (-1);
+    heap = Heap.create n;
+    unit_weights = Array.make (Graph.num_channels g) 1;
+  }
 
 let toward ws g ~weights ~dst =
   let n = Graph.num_nodes g in
@@ -38,9 +48,7 @@ let toward ws g ~weights ~dst =
   done;
   (ws.dist, ws.via)
 
-let unit_weights = ref [||]
-
 let hops_toward ws g ~dst =
   let m = Graph.num_channels g in
-  if Array.length !unit_weights < m then unit_weights := Array.make m 1;
-  toward ws g ~weights:!unit_weights ~dst
+  if Array.length ws.unit_weights < m then ws.unit_weights <- Array.make m 1;
+  toward ws g ~weights:ws.unit_weights ~dst

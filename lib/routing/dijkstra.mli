@@ -5,7 +5,11 @@
     forwarding-table column. *)
 
 (** Reusable scratch space; create once per graph and pass to every call
-    to avoid reallocating arrays for each of the |T| destinations. *)
+    to avoid reallocating arrays for each of the |T| destinations. A
+    workspace is fully self-contained (no shared module state), so
+    Dijkstras over distinct workspaces may run on distinct domains
+    concurrently — the basis of the parallel routing pipeline. A single
+    workspace must stay confined to one domain at a time. *)
 type workspace
 
 val workspace : Graph.t -> workspace

@@ -7,5 +7,9 @@
 
 (** [route g coords] requires every switch to carry a coordinate.
     Fails if the grid metadata is incomplete or a required neighbour
-    channel is missing. *)
-val route : Graph.t -> Coords.t -> (Ftable.t, string) result
+    channel is missing.
+
+    Forwarding is a pure function of coordinates, so [domains] (default
+    1) parallelizes the per-destination fills with no snapshotting;
+    tables are identical for any [domains]. *)
+val route : ?domains:int -> Graph.t -> Coords.t -> (Ftable.t, string) result

@@ -26,7 +26,65 @@ let levels g =
     Ok level
   end
 
-let route g =
+(* One destination is a pure function of (level map, destination): mark
+   ancestors level by level, then emit entries — no balancing state is
+   shared between destinations, so destinations parallelize with no
+   snapshot at all and the tables are identical for any domain count. *)
+let route_destination g ~level ~up_channels ~order_by_level ~anc_channel ~ft ~dst =
+  let n = Graph.num_nodes g in
+  let error = ref None in
+  let fail fmt = Format.kasprintf (fun s -> if !error = None then error := Some s) fmt in
+  let dst_injection = (Graph.out_channels g dst).(0) in
+  let dst_sw = (Graph.channel g dst_injection).Channel.dst in
+  Array.fill anc_channel 0 n (-1);
+  (* Ancestor marking, level by level upward: u is an ancestor iff a down
+     channel leads to an ancestor (or to dst's leaf switch); parallel
+     candidate cables are spread over destinations (d-mod-k on the way
+     down too). *)
+  let dst_index = Ftable.dst_index ft dst in
+  Array.iter
+    (fun u ->
+      if Graph.is_switch g u && level.(u) < max_int && u <> dst_sw && anc_channel.(u) < 0 then begin
+        let candidates = ref [] in
+        Array.iter
+          (fun c ->
+            let v = (Graph.channel g c).Channel.dst in
+            if Graph.is_switch g v && level.(v) = level.(u) - 1 && (v = dst_sw || anc_channel.(v) >= 0)
+            then candidates := c :: !candidates)
+          (Graph.out_channels g u);
+        match List.rev !candidates with
+        | [] -> ()
+        | l ->
+          let arr = Array.of_list l in
+          anc_channel.(u) <- arr.(dst_index mod Array.length arr)
+      end)
+    order_by_level;
+  let u = ref 0 in
+  while !error = None && !u < n do
+    let u0 = !u in
+    if u0 <> dst then
+      if Graph.is_terminal g u0 then
+        Ftable.set_next ft ~node:u0 ~dst ~channel:(Graph.out_channels g u0).(0)
+      else if u0 = dst_sw then begin
+        (* Deliver to the terminal itself. *)
+        match Graph.reverse_channel g dst_injection with
+        | Some c -> Ftable.set_next ft ~node:u0 ~dst ~channel:c
+        | None -> fail "ftree: terminal %d has a one-way cable" dst
+      end
+      else if anc_channel.(u0) >= 0 then Ftable.set_next ft ~node:u0 ~dst ~channel:anc_channel.(u0)
+      else begin
+        let ups = up_channels.(u0) in
+        if Array.length ups = 0 then
+          fail "ftree: not a fat tree (switch %d cannot reach destination %d)" u0 dst
+        else Ftable.set_next ft ~node:u0 ~dst ~channel:ups.(dst_index mod Array.length ups)
+      end;
+    incr u
+  done;
+  match !error with
+  | Some msg -> Error msg
+  | None -> Ok ()
+
+let route ?(domains = 1) g =
   match levels g with
   | Error msg -> Error msg
   | Ok level ->
@@ -61,64 +119,34 @@ let route g =
             else [||])
           (Array.init n (fun i -> i))
       in
-      let anc_channel = Array.make n (-1) in
       let order_by_level = Array.init n (fun i -> i) in
       Array.sort
         (fun a b -> compare (if level.(a) = max_int then -1 else level.(a)) (if level.(b) = max_int then -1 else level.(b)))
         order_by_level;
-      Array.iter
-        (fun dst ->
-          if !result = Ok () then begin
-            let dst_injection = (Graph.out_channels g dst).(0) in
-            let dst_sw = (Graph.channel g dst_injection).Channel.dst in
-            Array.fill anc_channel 0 n (-1);
-            (* Ancestor marking, level by level upward: u is an ancestor
-               iff a down channel leads to an ancestor (or to dst's leaf
-               switch); parallel candidate cables are spread over
-               destinations (d-mod-k on the way down too). *)
-            let dst_index = Ftable.dst_index ft dst in
-            Array.iter
-              (fun u ->
-                if Graph.is_switch g u && level.(u) < max_int && u <> dst_sw && anc_channel.(u) < 0 then begin
-                  let candidates = ref [] in
-                  Array.iter
-                    (fun c ->
-                      let v = (Graph.channel g c).Channel.dst in
-                      if
-                        Graph.is_switch g v
-                        && level.(v) = level.(u) - 1
-                        && (v = dst_sw || anc_channel.(v) >= 0)
-                      then candidates := c :: !candidates)
-                    (Graph.out_channels g u);
-                  match List.rev !candidates with
-                  | [] -> ()
-                  | l ->
-                    let arr = Array.of_list l in
-                    anc_channel.(u) <- arr.(dst_index mod Array.length arr)
-                end)
-              order_by_level;
-            Array.iter
-              (fun u ->
-                if u <> dst && !result = Ok () then
-                  if Graph.is_terminal g u then
-                    Ftable.set_next ft ~node:u ~dst ~channel:(Graph.out_channels g u).(0)
-                  else if u = dst_sw then begin
-                    (* Deliver to the terminal itself. *)
-                    match Graph.reverse_channel g dst_injection with
-                    | Some c -> Ftable.set_next ft ~node:u ~dst ~channel:c
-                    | None -> fail "ftree: terminal %d has a one-way cable" dst
-                  end
-                  else if anc_channel.(u) >= 0 then Ftable.set_next ft ~node:u ~dst ~channel:anc_channel.(u)
-                  else begin
-                    let ups = up_channels.(u) in
-                    if Array.length ups = 0 then
-                      fail "ftree: not a fat tree (switch %d cannot reach destination %d)" u dst
-                    else
-                      Ftable.set_next ft ~node:u ~dst ~channel:ups.(dst_index mod Array.length ups)
-                  end)
-              (Array.init n (fun i -> i))
-          end)
-        (Graph.terminals g);
-      (match !result with
+      let dsts = Graph.terminals g in
+      let routed =
+        if domains <= 1 then begin
+          let anc_channel = Array.make n (-1) in
+          let nt = Array.length dsts in
+          let rec go i =
+            if i >= nt then Ok ()
+            else
+              match route_destination g ~level ~up_channels ~order_by_level ~anc_channel ~ft ~dst:dsts.(i) with
+              | Ok () -> go (i + 1)
+              | Error _ as e -> e
+          in
+          go 0
+        end
+        else
+          Parallel.Pool.with_pool ~domains
+            (fun _slot -> Array.make n (-1))
+            (fun pool ->
+              Batched.run ~pool ~batch:(Array.length dsts) ~dsts
+                ~freeze:(fun () -> ())
+                ~dest:(fun anc_channel dst ->
+                  route_destination g ~level ~up_channels ~order_by_level ~anc_channel ~ft ~dst)
+                ~merge:(fun _ -> ()))
+      in
+      (match routed with
       | Error msg -> Error msg
       | Ok () -> Ok ft))

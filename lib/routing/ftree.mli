@@ -8,8 +8,12 @@
 
 (** [route g] fails with a descriptive message if the fabric is not a
     leveled fat tree (a switch-switch cable must span exactly one level,
-    and every up-walk must end at an ancestor of the destination). *)
-val route : Graph.t -> (Ftable.t, string) result
+    and every up-walk must end at an ancestor of the destination).
+
+    d-mod-k spreading makes every destination independent of the others,
+    so [domains] (default 1) parallelizes the fill with no snapshotting;
+    tables are identical for any [domains]. *)
+val route : ?domains:int -> Graph.t -> (Ftable.t, string) result
 
 (** Levels as ftree sees them: distance of each switch from the leaf
     (terminal-holding) layer; exposed for tests. Fails on fabrics without

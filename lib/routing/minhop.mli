@@ -5,5 +5,13 @@
     algorithm). *)
 
 (** [route g] computes forwarding entries for every (node, terminal)
-    pair. Fails on disconnected fabrics. *)
-val route : Graph.t -> (Ftable.t, string) result
+    pair. Fails on disconnected fabrics.
+
+    [batch]/[domains] (both default 1) select the batched-snapshot
+    pipeline of DESIGN.md section 12: port loads are frozen per batch of
+    [batch] destinations and each destination balances against the
+    snapshot plus its own increments (MinHop reads loads mid-destination,
+    so the snapshot alone is not enough). [~batch:1] reproduces the
+    sequential tables bit-for-bit; for any fixed [batch] the result is
+    independent of [domains]. *)
+val route : ?batch:int -> ?domains:int -> Graph.t -> (Ftable.t, string) result

@@ -2,7 +2,14 @@ let initial_weights g =
   let n = Graph.num_nodes g in
   Array.make (Graph.num_channels g) (n * n)
 
-let route_destination_scratch ws g ~weights ~order ~flow ~ft ~dst =
+let recommended_batch = 32
+
+(* One destination: weighted Dijkstra toward [dst] over [weights], table
+   entries from the via-tree, then the tree's terminal flows accumulated
+   far-to-near and emitted through [record] (one call per tree channel).
+   [record] abstracts where the load lands: the live weight array for the
+   sequential recurrence, a per-domain delta for the batched pipeline. *)
+let route_destination_core ws g ~weights ~record ~order ~flow ~ft ~dst =
   let dist, via = Dijkstra.toward ws g ~weights ~dst in
   if Array.exists (fun d -> d = max_int) dist then
     Error (Printf.sprintf "sssp: node unreachable toward %d" dst)
@@ -17,7 +24,7 @@ let route_destination_scratch ws g ~weights ~order ~flow ~ft ~dst =
       (fun u ->
         if u <> dst && flow.(u) > 0 then begin
           let c = via.(u) in
-          weights.(c) <- weights.(c) + flow.(u);
+          record c flow.(u);
           let v = (Graph.channel g c).Channel.dst in
           flow.(v) <- flow.(v) + flow.(u)
         end)
@@ -25,32 +32,147 @@ let route_destination_scratch ws g ~weights ~order ~flow ~ft ~dst =
     Ok ()
   end
 
+let route_destination_scratch ws g ~weights ~order ~flow ~ft ~dst =
+  route_destination_core ws g ~weights
+    ~record:(fun c f -> weights.(c) <- weights.(c) + f)
+    ~order ~flow ~ft ~dst
+
 let route_destination ws g ~weights ~ft ~dst =
   let n = Graph.num_nodes g in
   if Array.length weights <> Graph.num_channels g then invalid_arg "Sssp.route_destination: weights size";
   route_destination_scratch ws g ~weights ~order:(Array.init n (fun i -> i)) ~flow:(Array.make n 0) ~ft
     ~dst
 
-let route_plane g ~weights =
-  let n = Graph.num_nodes g in
+(* ------------------------------------------------------------------ *)
+(* Per-domain scratch for the batched pipeline                          *)
+(* ------------------------------------------------------------------ *)
+
+(* A worker's private state: Dijkstra workspace, tree-walk arrays, and a
+   sparse per-channel delta of the flow its destinations contributed in
+   the current batch. Scratch lives as long as its pool does and is
+   re-validated lazily via epoch stamping: every plane invocation draws a
+   fresh epoch; a worker first touching its scratch under a new epoch
+   resizes the arrays if the graph changed shape and clears any residue,
+   then reuses everything for the rest of the invocation. *)
+type scratch = {
+  mutable epoch : int;
+  mutable nodes : int;
+  mutable channels : int;
+  mutable ws : Dijkstra.workspace option;
+  mutable order : int array;
+  mutable flow : int array;
+  mutable delta : int array; (* channel -> flow contributed this batch *)
+  mutable touched : int array; (* channels with delta > 0, first num_touched *)
+  mutable num_touched : int;
+}
+
+type pool = scratch Parallel.Pool.t
+
+let fresh_scratch _slot =
+  {
+    epoch = -1;
+    nodes = -1;
+    channels = -1;
+    ws = None;
+    order = [||];
+    flow = [||];
+    delta = [||];
+    touched = [||];
+    num_touched = 0;
+  }
+
+let create_pool ?domains () = Parallel.Pool.create ?domains fresh_scratch
+
+let destroy_pool = Parallel.Pool.shutdown
+
+let pool_domains = Parallel.Pool.size
+
+let plane_epoch = Atomic.make 0
+
+let revalidate sc g ~epoch =
+  if sc.epoch <> epoch then begin
+    (* Heal residue from an invocation aborted by an exception: deltas
+       recorded but never merged must not leak into this plane. *)
+    for i = 0 to sc.num_touched - 1 do
+      sc.delta.(sc.touched.(i)) <- 0
+    done;
+    sc.num_touched <- 0;
+    let n = Graph.num_nodes g and m = Graph.num_channels g in
+    if sc.nodes <> n then begin
+      sc.ws <- Some (Dijkstra.workspace g);
+      sc.order <- Array.init n (fun i -> i);
+      sc.flow <- Array.make n 0;
+      sc.nodes <- n
+    end;
+    if sc.channels <> m then begin
+      sc.delta <- Array.make m 0;
+      sc.touched <- Array.make m 0;
+      sc.channels <- m
+    end;
+    sc.epoch <- epoch
+  end
+
+let route_destinations_batched pool ~batch g ~weights ~ft ~dsts =
+  let epoch = Atomic.fetch_and_add plane_epoch 1 in
+  let m = Graph.num_channels g in
+  let snapshot = Array.make m 0 in
+  Batched.run ~pool ~batch ~dsts
+    ~freeze:(fun () -> Array.blit weights 0 snapshot 0 m)
+    ~dest:(fun sc dst ->
+      revalidate sc g ~epoch;
+      route_destination_core (Option.get sc.ws) g ~weights:snapshot
+        ~record:(fun c f ->
+          if sc.delta.(c) = 0 then begin
+            sc.touched.(sc.num_touched) <- c;
+            sc.num_touched <- sc.num_touched + 1
+          end;
+          sc.delta.(c) <- sc.delta.(c) + f)
+        ~order:sc.order ~flow:sc.flow ~ft ~dst)
+    ~merge:(fun sc ->
+      if sc.epoch = epoch then begin
+        for i = 0 to sc.num_touched - 1 do
+          let c = sc.touched.(i) in
+          weights.(c) <- weights.(c) + sc.delta.(c);
+          sc.delta.(c) <- 0
+        done;
+        sc.num_touched <- 0
+      end)
+
+let route_destinations ?(batch = 1) ?(domains = 1) ?pool g ~weights ~ft ~dsts =
+  if Array.length weights <> Graph.num_channels g then
+    invalid_arg "Sssp.route_destinations: weights size";
+  match pool with
+  | Some pool -> route_destinations_batched pool ~batch g ~weights ~ft ~dsts
+  | None ->
+    if batch <= 1 && domains <= 1 then begin
+      (* the sequential recurrence, verbatim; stops at the first error *)
+      let n = Graph.num_nodes g in
+      let ws = Dijkstra.workspace g in
+      let order = Array.init n (fun i -> i) in
+      let flow = Array.make n 0 in
+      let nt = Array.length dsts in
+      let rec go i =
+        if i >= nt then Ok ()
+        else
+          match route_destination_scratch ws g ~weights ~order ~flow ~ft ~dst:dsts.(i) with
+          | Ok () -> go (i + 1)
+          | Error _ as e -> e
+      in
+      go 0
+    end
+    else
+      Parallel.Pool.with_pool ~domains fresh_scratch (fun pool ->
+          route_destinations_batched pool ~batch g ~weights ~ft ~dsts)
+
+let route_plane ?batch ?domains ?pool g ~weights =
   if Array.length weights <> Graph.num_channels g then invalid_arg "Sssp.route_plane: weights size";
   Array.iter (fun w -> if w < 1 then invalid_arg "Sssp.route_plane: weight < 1") weights;
   let ft = Ftable.create g ~algorithm:"sssp" in
-  let ws = Dijkstra.workspace g in
-  let order = Array.init n (fun i -> i) in
-  let flow = Array.make n 0 in
-  let result = ref (Ok ()) in
-  Array.iter
-    (fun dst ->
-      match !result with
-      | Error _ -> ()
-      | Ok () -> result := route_destination_scratch ws g ~weights ~order ~flow ~ft ~dst)
-    (Graph.terminals g);
-  match !result with
+  match route_destinations ?batch ?domains ?pool g ~weights ~ft ~dsts:(Graph.terminals g) with
   | Error _ as e -> e
   | Ok () -> Ok ft
 
-let route ?initial_weight g =
+let route ?initial_weight ?batch ?domains ?pool g =
   let weights =
     match initial_weight with
     | None -> initial_weights g
@@ -58,4 +180,4 @@ let route ?initial_weight g =
       if w < 1 then invalid_arg "Sssp.route: initial_weight < 1";
       Array.make (Graph.num_channels g) w
   in
-  route_plane g ~weights
+  route_plane ?batch ?domains ?pool g ~weights

@@ -6,18 +6,69 @@
     The initial channel weight is [|V|^2]: accumulated increments stay
     below [|V|^2], so a two-channel detour can never undercut a direct
     channel and all routes keep minimal hop count (paper Section II).
+    This bound is independent of how destinations are batched, so the
+    batched-snapshot pipeline below preserves minimality.
 
     SSSP is {e not} deadlock-free in general — see {!Dfsssp} for the
-    virtual-layer extension. *)
+    virtual-layer extension.
 
-(** [route ?initial_weight g] fails only on disconnected fabrics.
+    {2 Batched-snapshot parallelism}
+
+    The per-destination recurrence is sequential: destination [k+1]'s
+    Dijkstra reads the weights destination [k] wrote. The [?batch]
+    argument relaxes this in controlled steps (DESIGN.md section 12):
+    weights are frozen once per batch of [batch] destinations, every
+    destination in the batch is routed against the frozen snapshot —
+    independently, so the batch spreads across [?domains] OCaml domains —
+    and the batch's per-channel load contributions are merged back before
+    the next snapshot.
+
+    Contract: [batch] changes the algorithm (a coarser snapshot yields a
+    slightly different — still minimal, still balanced — table);
+    [domains] never does. [~batch:1] is bit-for-bit identical to the
+    sequential recurrence for any [domains], and for any fixed [batch]
+    the table and final weights are independent of [domains]. *)
+
+(** Batch size used by callers that opt into the pipeline without a
+    preference (currently 32): small enough that balancing quality is
+    indistinguishable in the Fig. 4/5 metrics, large enough to keep every
+    domain busy. *)
+val recommended_batch : int
+
+(** A pool of routing domains with per-domain scratch (Dijkstra
+    workspace, tree-walk arrays, load-delta accumulator). Pools are
+    graph-independent — scratch is (re)validated lazily against the graph
+    of each invocation via epoch stamping — so one pool can serve many
+    planes, graphs and engines (e.g. a {!Fabric.Manager} holding a pool
+    across incremental re-routes). Must be released with
+    {!destroy_pool}. *)
+type pool
+
+(** [create_pool ?domains ()] spawns [domains - 1] worker domains
+    (default {!Parallel.recommended_domains}); the calling domain
+    participates as the remaining slot. *)
+val create_pool : ?domains:int -> unit -> pool
+
+val destroy_pool : pool -> unit
+
+(** Number of domains the pool runs on (including the caller). *)
+val pool_domains : pool -> int
+
+(** [route ?initial_weight ?batch ?domains ?pool g] fails only on
+    disconnected fabrics.
 
     [initial_weight] overrides the [|V|^2] base weight — the paper's
     Fig. 1 shows why the default matters: with [~initial_weight:1] the
     accumulated increments can make two lightly-loaded channels cheaper
     than one loaded channel and the router takes latency-increasing
-    detours. Exposed for the ablation bench; leave it alone otherwise. *)
-val route : ?initial_weight:int -> Graph.t -> (Ftable.t, string) result
+    detours. Exposed for the ablation bench; leave it alone otherwise.
+
+    [batch] (default 1) and [domains] (default 1) select the
+    batched-snapshot pipeline; [pool] reuses an existing pool (its size
+    overrides [domains]). Defaults reproduce the sequential recurrence
+    exactly. *)
+val route :
+  ?initial_weight:int -> ?batch:int -> ?domains:int -> ?pool:pool -> Graph.t -> (Ftable.t, string) result
 
 (** [route_plane g ~weights] runs one SSSP pass over an {e existing}
     weight state, updating [weights] in place with the new routes' load.
@@ -25,8 +76,27 @@ val route : ?initial_weight:int -> Graph.t -> (Ftable.t, string) result
     — later planes avoid channels earlier planes loaded — which is exactly
     how OpenSM's SSSP routes the extra LIDs of an LMC > 0 subnet (see
     {!Dfsssp.Multipath}). [weights] must have one entry per channel, all
-    >= 1. *)
-val route_plane : Graph.t -> weights:int array -> (Ftable.t, string) result
+    >= 1. [batch]/[domains]/[pool] as in {!route}. *)
+val route_plane :
+  ?batch:int -> ?domains:int -> ?pool:pool -> Graph.t -> weights:int array -> (Ftable.t, string) result
+
+(** [route_destinations g ~weights ~ft ~dsts] is {!route_plane}
+    restricted to the given destination terminals, writing into an
+    existing table — the batch building block behind {!route_plane}
+    itself, incremental repair and the routing bench. Destinations are
+    processed in [dsts] order. Stops at the first failing destination
+    (lowest index, as a sequential scan would find it); on [Error],
+    [weights] and [ft] retain the contributions of the destinations
+    already routed. *)
+val route_destinations :
+  ?batch:int ->
+  ?domains:int ->
+  ?pool:pool ->
+  Graph.t ->
+  weights:int array ->
+  ft:Ftable.t ->
+  dsts:int array ->
+  (unit, string) result
 
 (** Fresh weight state for {!route_plane}: every channel at [|V|^2]. *)
 val initial_weights : Graph.t -> int array

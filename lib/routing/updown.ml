@@ -9,7 +9,11 @@
    2. d_up(u) = min over up channels (u -> v) of 1 + min(d_up v, d_down v),
       computed in increasing (rank, id) order (up strictly decreases it).
    3. Nodes preferring down are closed transitively along their down
-      parents (forcing keeps legality; only lengths can grow). *)
+      parents (forcing keeps legality; only lengths can grow).
+
+   All load reads (the step-2 tie-break) happen before any of the same
+   destination's load increments (step 4), so the batched pipeline needs
+   only the per-batch snapshot — no per-destination overlay. *)
 
 let pick_root g =
   let switches = Graph.switches g in
@@ -41,101 +45,167 @@ let orientation g =
     let _, up = rank_and_orientation g root in
     Ok (root, up)
 
-let route g =
+type scratch = {
+  d_down : int array;
+  down_via : int array;
+  d_up : int array;
+  up_via : int array;
+  down_mode : bool array;
+  queue : int Queue.t;
+  delta : int array;
+  touched : int array;
+  mutable num_touched : int;
+}
+
+let fresh_scratch n m _slot =
+  {
+    d_down = Array.make n max_int;
+    down_via = Array.make n (-1);
+    d_up = Array.make n max_int;
+    up_via = Array.make n (-1);
+    down_mode = Array.make n false;
+    queue = Queue.create ();
+    delta = Array.make m 0;
+    touched = Array.make m 0;
+    num_touched = 0;
+  }
+
+let route_destination g ~up ~order ~get_load ~bump sc ~ft ~dst =
+  let n = Graph.num_nodes g in
+  Array.fill sc.d_down 0 n max_int;
+  Array.fill sc.down_via 0 n (-1);
+  Array.fill sc.d_up 0 n max_int;
+  Array.fill sc.up_via 0 n (-1);
+  Array.fill sc.down_mode 0 n false;
+  (* 1. All-down distances: BFS from dst across reversed down channels. *)
+  sc.d_down.(dst) <- 0;
+  Queue.clear sc.queue;
+  Queue.add dst sc.queue;
+  while not (Queue.is_empty sc.queue) do
+    let v = Queue.take sc.queue in
+    Array.iter
+      (fun c ->
+        let u = (Graph.channel g c).Channel.src in
+        if (not up.(c)) && sc.d_down.(u) = max_int then begin
+          sc.d_down.(u) <- sc.d_down.(v) + 1;
+          sc.down_via.(u) <- c;
+          Queue.add u sc.queue
+        end)
+      (Graph.in_channels g v)
+  done;
+  (* 2. Up continuations, bottom-up in the (rank, id) order. *)
+  Array.iter
+    (fun u ->
+      if u <> dst then
+        Array.iter
+          (fun c ->
+            if up.(c) then begin
+              let v = (Graph.channel g c).Channel.dst in
+              let dv = min sc.d_up.(v) sc.d_down.(v) in
+              if dv < max_int then begin
+                let cand = dv + 1 in
+                if
+                  cand < sc.d_up.(u)
+                  || (cand = sc.d_up.(u) && sc.up_via.(u) >= 0 && get_load c < get_load sc.up_via.(u))
+                then begin
+                  sc.d_up.(u) <- cand;
+                  sc.up_via.(u) <- c
+                end
+              end
+            end)
+          (Graph.out_channels g u))
+    order;
+  (* 3. Mode selection with transitive down-closure. *)
+  Array.iter (fun u -> if u <> dst then sc.down_mode.(u) <- sc.d_down.(u) <= sc.d_up.(u)) order;
+  (* Force every node on a down-mode node's parent chain into down mode as
+     well; chains of already-forced nodes are walked by their own outer
+     iteration. *)
+  let rec force u =
+    if u <> dst && not sc.down_mode.(u) then begin
+      sc.down_mode.(u) <- true;
+      force (Graph.channel g sc.down_via.(u)).Channel.dst
+    end
+  in
+  Array.iter
+    (fun u ->
+      if u <> dst && sc.down_mode.(u) && sc.down_via.(u) >= 0 then
+        force (Graph.channel g sc.down_via.(u)).Channel.dst)
+    order;
+  (* 4. Emit entries. *)
+  let error = ref None in
+  let i = ref 0 in
+  let nn = Array.length order in
+  while !error = None && !i < nn do
+    let u = order.(!i) in
+    if u <> dst then begin
+      let c = if sc.down_mode.(u) then sc.down_via.(u) else sc.up_via.(u) in
+      if c < 0 then error := Some (Printf.sprintf "updown: node %d cannot reach %d" u dst)
+      else begin
+        Ftable.set_next ft ~node:u ~dst ~channel:c;
+        bump c
+      end
+    end;
+    incr i
+  done;
+  match !error with
+  | Some msg -> Error msg
+  | None -> Ok ()
+
+let route ?(batch = 1) ?(domains = 1) g =
   match pick_root g with
   | Error msg -> Error msg
   | Ok root ->
     let n = Graph.num_nodes g in
+    let m = Graph.num_channels g in
     let rank, up = rank_and_orientation g root in
     let ft = Ftable.create g ~algorithm:"updown" in
     (* Nodes in increasing (rank, id): up channels point strictly earlier. *)
     let order = Array.init n (fun i -> i) in
     Array.sort (fun a b -> compare (rank.(a), a) (rank.(b), b)) order;
-    let d_down = Array.make n max_int in
-    let down_via = Array.make n (-1) in
-    let d_up = Array.make n max_int in
-    let up_via = Array.make n (-1) in
-    let load = Array.make (Graph.num_channels g) 0 in
-    let result = ref (Ok ()) in
-    let queue = Queue.create () in
-    Array.iter
-      (fun dst ->
-        match !result with
-        | Error _ -> ()
-        | Ok () ->
-          Array.fill d_down 0 n max_int;
-          Array.fill down_via 0 n (-1);
-          Array.fill d_up 0 n max_int;
-          Array.fill up_via 0 n (-1);
-          (* 1. All-down distances: BFS from dst across reversed down
-             channels. *)
-          d_down.(dst) <- 0;
-          Queue.clear queue;
-          Queue.add dst queue;
-          while not (Queue.is_empty queue) do
-            let v = Queue.take queue in
-            Array.iter
-              (fun c ->
-                let u = (Graph.channel g c).Channel.src in
-                if (not up.(c)) && d_down.(u) = max_int then begin
-                  d_down.(u) <- d_down.(v) + 1;
-                  down_via.(u) <- c;
-                  Queue.add u queue
-                end)
-              (Graph.in_channels g v)
-          done;
-          (* 2. Up continuations, bottom-up in the (rank, id) order. *)
-          Array.iter
-            (fun u ->
-              if u <> dst then
-                Array.iter
-                  (fun c ->
-                    if up.(c) then begin
-                      let v = (Graph.channel g c).Channel.dst in
-                      let dv = min d_up.(v) d_down.(v) in
-                      if dv < max_int then begin
-                        let cand = dv + 1 in
-                        if
-                          cand < d_up.(u)
-                          || (cand = d_up.(u) && up_via.(u) >= 0 && load.(c) < load.(up_via.(u)))
-                        then begin
-                          d_up.(u) <- cand;
-                          up_via.(u) <- c
-                        end
-                      end
-                    end)
-                  (Graph.out_channels g u))
-            order;
-          (* 3. Mode selection with transitive down-closure. *)
-          let down_mode = Array.make n false in
-          Array.iter (fun u -> if u <> dst then down_mode.(u) <- d_down.(u) <= d_up.(u)) order;
-          (* Force every node on a down-mode node's parent chain into down
-             mode as well; chains of already-forced nodes are walked by
-             their own outer iteration. *)
-          let rec force u =
-            if u <> dst && not down_mode.(u) then begin
-              down_mode.(u) <- true;
-              force (Graph.channel g down_via.(u)).Channel.dst
-            end
-          in
-          Array.iter
-            (fun u ->
-              if u <> dst && down_mode.(u) && down_via.(u) >= 0 then
-                force (Graph.channel g down_via.(u)).Channel.dst)
-            order;
-          (* 4. Emit entries. *)
-          Array.iter
-            (fun u ->
-              if u <> dst && !result = Ok () then begin
-                let c = if down_mode.(u) then down_via.(u) else up_via.(u) in
-                if c < 0 then result := Error (Printf.sprintf "updown: node %d cannot reach %d" u dst)
-                else begin
-                  Ftable.set_next ft ~node:u ~dst ~channel:c;
-                  load.(c) <- load.(c) + 1
-                end
-              end)
-            order)
-      (Graph.terminals g);
-    (match !result with
+    let load = Array.make m 0 in
+    let dsts = Graph.terminals g in
+    let result =
+      if batch <= 1 && domains <= 1 then begin
+        let sc = fresh_scratch n m 0 in
+        let nt = Array.length dsts in
+        let rec go i =
+          if i >= nt then Ok ()
+          else
+            match
+              route_destination g ~up ~order
+                ~get_load:(fun c -> load.(c))
+                ~bump:(fun c -> load.(c) <- load.(c) + 1)
+                sc ~ft ~dst:dsts.(i)
+            with
+            | Ok () -> go (i + 1)
+            | Error _ as e -> e
+        in
+        go 0
+      end
+      else begin
+        let snapshot = Array.make m 0 in
+        Parallel.Pool.with_pool ~domains (fresh_scratch n m) (fun pool ->
+            Batched.run ~pool ~batch ~dsts
+              ~freeze:(fun () -> Array.blit load 0 snapshot 0 m)
+              ~dest:(fun sc dst ->
+                route_destination g ~up ~order
+                  ~get_load:(fun c -> snapshot.(c))
+                  ~bump:(fun c ->
+                    if sc.delta.(c) = 0 then begin
+                      sc.touched.(sc.num_touched) <- c;
+                      sc.num_touched <- sc.num_touched + 1
+                    end;
+                    sc.delta.(c) <- sc.delta.(c) + 1)
+                  sc ~ft ~dst)
+              ~merge:(fun sc ->
+                for i = 0 to sc.num_touched - 1 do
+                  let c = sc.touched.(i) in
+                  load.(c) <- load.(c) + sc.delta.(c);
+                  sc.delta.(c) <- 0
+                done;
+                sc.num_touched <- 0))
+      end
+    in
+    (match result with
     | Error _ as e -> e
     | Ok () -> Ok ft)

@@ -7,8 +7,14 @@
 
 (** [route g] picks the root switch minimizing eccentricity and builds
     legal, consistent, near-minimal forwarding tables (see DESIGN.md for
-    the down-mode consistency rule). Fails on disconnected fabrics. *)
-val route : Graph.t -> (Ftable.t, string) result
+    the down-mode consistency rule). Fails on disconnected fabrics.
+
+    [batch]/[domains] (both default 1) select the batched-snapshot
+    pipeline of DESIGN.md section 12: the load counters behind the
+    equal-length tie-break are frozen per batch of [batch] destinations.
+    [~batch:1] reproduces the sequential tables bit-for-bit; for any
+    fixed [batch] the result is independent of [domains]. *)
+val route : ?batch:int -> ?domains:int -> Graph.t -> (Ftable.t, string) result
 
 (** Expose the orientation for tests: [up_channels g] maps channel id to
     [true] iff the channel is an up channel for the root [route] would

@@ -609,6 +609,53 @@ let test_parallel_exception () =
   Alcotest.check_raises "propagates" (Failure "boom") (fun () ->
       ignore (Parallel.map_array ~domains:4 (fun x -> if x = 500 then failwith "boom" else x) (Array.init 800 Fun.id)))
 
+let test_pool_run_and_scratch () =
+  List.iter
+    (fun domains ->
+      Parallel.Pool.with_pool ~domains
+        (fun slot -> (slot, Array.make 100 0))
+        (fun pool ->
+          Alcotest.(check int) "size" (max 1 domains) (Parallel.Pool.size pool);
+          let out = Array.make 1000 0 in
+          (* several invocations reuse the same workers *)
+          for round = 1 to 3 do
+            Parallel.Pool.run pool ~n:1000 (fun _s i -> out.(i) <- (round * i) + 1)
+          done;
+          check Alcotest.(array int) (Printf.sprintf "run %d domains" domains)
+            (Array.init 1000 (fun i -> (3 * i) + 1))
+            out;
+          (* scratch: every slot got a distinct state; increments observed
+             via iter_scratch sum to the item count *)
+          Parallel.Pool.run pool ~n:500 (fun (_, tally) _i -> tally.(0) <- tally.(0) + 1);
+          let total = ref 0 in
+          Parallel.Pool.iter_scratch pool (fun (_, tally) -> total := !total + tally.(0));
+          Alcotest.(check int) (Printf.sprintf "scratch sum %d domains" domains) 500 !total))
+    [ 1; 2; 4 ]
+
+let test_pool_map_reduce () =
+  Parallel.Pool.with_pool ~domains:3
+    (fun _slot -> ())
+    (fun pool ->
+      let sum =
+        Parallel.Pool.map_reduce pool ~n:101 ~map:(fun () i -> i) ~fold:( + ) 0
+      in
+      Alcotest.(check int) "sum 0..100" 5050 sum;
+      Alcotest.(check int) "empty" 7
+        (Parallel.Pool.map_reduce pool ~n:0 ~map:(fun () i -> i) ~fold:( + ) 7))
+
+let test_pool_exception_and_shutdown () =
+  let pool = Parallel.Pool.create ~domains:4 (fun _slot -> ()) in
+  Alcotest.check_raises "propagates" (Failure "pool boom") (fun () ->
+      Parallel.Pool.run pool ~n:800 (fun () i -> if i = 400 then failwith "pool boom"));
+  (* the pool survives a failed task *)
+  let hits = Atomic.make 0 in
+  Parallel.Pool.run pool ~n:100 (fun () _ -> Atomic.incr hits);
+  Alcotest.(check int) "usable after failure" 100 (Atomic.get hits);
+  Parallel.Pool.shutdown pool;
+  Parallel.Pool.shutdown pool (* idempotent *);
+  Alcotest.check_raises "run after shutdown" (Invalid_argument "Parallel.Pool.run: pool is shut down")
+    (fun () -> Parallel.Pool.run pool ~n:10 (fun () _ -> ()))
+
 (* ------------------------------------------------------------------ *)
 (* Degrade                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -782,6 +829,9 @@ let () =
           Alcotest.test_case "map" `Quick test_parallel_map;
           Alcotest.test_case "init and for_all" `Quick test_parallel_init_and_for_all;
           Alcotest.test_case "exception" `Quick test_parallel_exception;
+          Alcotest.test_case "pool run and scratch" `Quick test_pool_run_and_scratch;
+          Alcotest.test_case "pool map_reduce" `Quick test_pool_map_reduce;
+          Alcotest.test_case "pool exception and shutdown" `Quick test_pool_exception_and_shutdown;
         ] );
       ( "degrade",
         [
