@@ -1,4 +1,4 @@
-.PHONY: all check test lint doc clean bench-cdg bench-routing
+.PHONY: all check test lint doc clean bench-cdg bench-routing coverage
 
 all:
 	dune build
@@ -31,6 +31,25 @@ bench-cdg:
 # as skipped in the JSON otherwise.
 bench-routing:
 	dune exec --profile release bench/routing_bench.exe
+
+# Line-coverage report (doc/observability.md). Every library carries the
+# (instrumentation (backend bisect_ppx)) stanza, which is inert unless
+# dune is invoked with --instrument-with; the target is skipped cleanly
+# when bisect_ppx is not installed (it is not baked into the CI image).
+# Enforces a >= 80% floor on lib/obs.
+coverage:
+	@if ocamlfind query bisect_ppx >/dev/null 2>&1; then \
+	  rm -rf _coverage && mkdir -p _coverage; \
+	  BISECT_FILE=$$(pwd)/_coverage/bisect dune runtest --force --instrument-with bisect_ppx && \
+	  bisect-ppx-report summary --coverage-path _coverage --per-file > _coverage/summary.txt && \
+	  cat _coverage/summary.txt && \
+	  obs=$$(awk '/lib\/obs\// {gsub(/%/,"",$$1); sum+=$$1; n+=1} END {if (n>0) printf "%.1f", sum/n; else print "0"}' _coverage/summary.txt); \
+	  echo "lib/obs mean line coverage: $$obs% (floor: 80%)"; \
+	  awk -v v="$$obs" 'BEGIN { exit (v+0 >= 80.0) ? 0 : 1 }' || \
+	    { echo "coverage: lib/obs below the 80% floor"; exit 1; }; \
+	else \
+	  echo "coverage: bisect_ppx not installed; skipping (opam install bisect_ppx)"; \
+	fi
 
 doc:
 	dune build @doc

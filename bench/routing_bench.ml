@@ -127,10 +127,58 @@ let json_row r =
     (r.par_sssp_ms +. r.par_break_ms)
     (pipeline_speedup r)
 
+(* ------------------------------------------------------------------ *)
+(* Observability overhead (DESIGN.md section 13): the same pipeline with
+   obs compiled in but disabled must stay within 3% of the previous
+   run's sequential times (read from routing_parallel.json before this
+   run overwrites it), and the cost of enabled tracing is recorded
+   informationally.                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* name -> sequential pipeline ms of the previous routing_parallel.json *)
+let read_baseline path =
+  if not (Sys.file_exists path) then None
+  else
+    let text = In_channel.with_open_text path In_channel.input_all in
+    match Obs.Json.of_string text with
+    | Error _ -> None
+    | Ok doc ->
+      let open Obs.Json in
+      let rows =
+        match member "topologies" doc with
+        | Some j -> Option.value ~default:[] (to_list j)
+        | None -> []
+      in
+      let entry row =
+        match (member "name" row, member "pipeline_ms" row) with
+        | Some name, Some pipe -> (
+          match (to_str name, Option.bind (member "sequential" pipe) to_float) with
+          | Some n, Some ms -> Some (n, ms)
+          | _ -> None)
+        | _ -> None
+      in
+      let entries = List.filter_map entry rows in
+      if entries = [] then None else Some entries
+
+let measure_enabled_overhead w =
+  Printf.eprintf "measuring %s with tracing enabled...\n%!" w.name;
+  let pipeline () =
+    let ft = sssp_stage w () in
+    ignore (break_stage w ft ())
+  in
+  let off_ms, () = time_best pipeline in
+  let spans = Obs.Registry.counter ~registry:(Obs.Registry.create ()) "bench.spans" in
+  let on_ms, () =
+    Obs.Control.with_enabled true (fun () ->
+        Obs.Trace.with_sink (Obs.Trace.counting_sink spans) (fun () -> time_best pipeline))
+  in
+  (w.name, off_ms, on_ms, Obs.Counter.value spans)
+
 let () =
   let available = Domain.recommended_domain_count () in
   let domains = max 2 (min available 4) in
   let batch = Sssp.recommended_batch in
+  let baseline = read_baseline "bench_results/routing_parallel.json" in
   let workloads =
     [
       build_workload "xgft-4096"
@@ -186,4 +234,85 @@ let () =
    with Unix.Unix_error _ | Sys_error _ -> prerr_endline "warning: could not write bench_results");
   Printf.printf "speedup gate (>= 2x pipeline on %s, %d domains available): %s\n" big.wname
     available (String.uppercase_ascii gate_status);
-  if gate_enforced && not gate_ok then exit 1
+  (* ---- observability overhead ---- *)
+  let disabled_cmp =
+    match baseline with
+    | None -> None
+    | Some base ->
+      let matched =
+        List.filter_map
+          (fun r ->
+            Option.map
+              (fun b -> (r.wname, b, r.seq_sssp_ms +. r.seq_break_ms))
+              (List.assoc_opt r.wname base))
+          rows
+      in
+      if matched = [] then None
+      else
+        let bsum = List.fold_left (fun a (_, b, _) -> a +. b) 0.0 matched in
+        let csum = List.fold_left (fun a (_, _, c) -> a +. c) 0.0 matched in
+        Some (matched, bsum, csum, (csum -. bsum) /. bsum)
+  in
+  let obs_gate_ok = match disabled_cmp with None -> true | Some (_, _, _, d) -> d < 0.03 in
+  let obs_gate_status =
+    match disabled_cmp with
+    | None -> "skipped: no baseline"
+    | Some _ when obs_gate_ok -> "pass"
+    | Some _ -> "fail"
+  in
+  (* the smallest workload carries the enabled-tracing measurement; the
+     number is informational, not a gate *)
+  let en_name, en_off, en_on, en_spans =
+    measure_enabled_overhead (List.nth workloads (List.length workloads - 1))
+  in
+  let overhead_json =
+    let open Obs.Json in
+    Obj
+      [
+        ("benchmark", Str "obs_overhead");
+        ( "disabled",
+          Obj
+            (( "gate",
+               Str
+                 (Printf.sprintf "sequential pipeline with obs compiled in but disabled within 3%% \
+                                  of the previous run: %s" obs_gate_status) )
+            ::
+            (match disabled_cmp with
+            | None -> []
+            | Some (matched, bsum, csum, delta) ->
+              [
+                ("baseline_pipeline_ms", Num bsum);
+                ("current_pipeline_ms", Num csum);
+                ("overhead_fraction", Num delta);
+                ( "topologies",
+                  Obj
+                    (List.map
+                       (fun (n, b, c) ->
+                         (n, Obj [ ("baseline_ms", Num b); ("current_ms", Num c) ]))
+                       matched) );
+              ])) );
+        ( "enabled",
+          Obj
+            [
+              ("workload", Str en_name);
+              ("disabled_ms", Num en_off);
+              ("traced_ms", Num en_on);
+              ("spans", Num (float_of_int en_spans));
+              ("overhead_fraction", Num ((en_on -. en_off) /. en_off));
+            ] );
+      ]
+  in
+  (try
+     Out_channel.with_open_text "bench_results/obs_overhead.json" (fun oc ->
+         Out_channel.output_string oc (Obs.Json.to_string overhead_json);
+         Out_channel.output_char oc '\n')
+   with Sys_error _ -> prerr_endline "warning: could not write bench_results/obs_overhead.json");
+  (match disabled_cmp with
+  | None -> Printf.printf "obs overhead gate: SKIPPED (no baseline)\n"
+  | Some (_, bsum, csum, delta) ->
+    Printf.printf "obs overhead gate (<3%% disabled, sequential pipeline %.1f -> %.1f ms): %s (%+.2f%%)\n"
+      bsum csum (String.uppercase_ascii obs_gate_status) (100.0 *. delta));
+  Printf.printf "enabled tracing on %s: %.2f -> %.2f ms (%d spans, %+.2f%%)\n" en_name en_off en_on
+    en_spans
+    (100.0 *. (en_on -. en_off) /. en_off);
+  if (gate_enforced && not gate_ok) || not obs_gate_ok then exit 1

@@ -228,11 +228,42 @@ let analyze_cmd =
        ~doc:"lint forwarding tables and check their deadlock-freedom certificate (exit 0 iff all certified and lint-clean)")
     Term.(const run $ specs $ tables $ algorithm $ max_layers $ json $ minimal $ slack $ cert_out)
 
+(* Schedule source shared by manage and trace: a file to replay, or a
+   generated mix of cable faults, switch removals and drains. *)
+let load_schedule g ~schedule_file ~seed ~events ~removals ~drains =
+  match schedule_file with
+  | Some path -> (
+    match Fabric.Schedule.of_string (In_channel.with_open_text path In_channel.input_all) with
+    | Ok s -> Ok s
+    | Error msg -> Error (Printf.sprintf "schedule %s: %s" path msg))
+  | None ->
+    let rng = Netgraph.Rng.create seed in
+    Ok (Fabric.Schedule.generate g ~rng ~events ~switch_removals:removals ~drains ~up_fraction:0.35 ())
+
+(* The combined stats snapshot: the manager's own registry plus the
+   process-wide one (sssp/layers/analysis/pool counters). *)
+let stats_json mgr =
+  Obs.Json.Obj
+    [
+      ("manager", Fabric.Metrics.to_json (Fabric.Manager.metrics mgr));
+      ("process", Obs.Registry.to_json (Obs.Registry.default ()));
+    ]
+
+let write_stats_json mgr path =
+  let s = Obs.Json.to_string (stats_json mgr) in
+  if path = "-" then print_endline s
+  else begin
+    Out_channel.with_open_text path (fun oc ->
+        Out_channel.output_string oc s;
+        Out_channel.output_char oc '\n');
+    Format.printf "wrote %s@." path
+  end
+
 (* manage: the live fabric manager — replay a fault schedule and report
    convergence after every event. *)
 let manage_cmd =
   let run spec events seed schedule_file removals drains algorithm max_layers layer_budget
-      repair_fraction batch domains print_schedule =
+      repair_fraction batch domains print_schedule stats_out =
     let layer_budget = Option.value ~default:max_layers layer_budget in
     (* --batch unset: snapshot in recommended batches when the pipeline
        is on (--domains > 1), stay on the sequential recurrence
@@ -264,19 +295,7 @@ let manage_cmd =
         let config =
           { Fabric.Manager.algorithm; max_layers; layer_budget; repair_fraction; batch; domains }
         in
-      let schedule =
-        match schedule_file with
-        | Some path -> (
-          match Fabric.Schedule.of_string (In_channel.with_open_text path In_channel.input_all) with
-          | Ok s -> Ok s
-          | Error msg -> Error (Printf.sprintf "schedule %s: %s" path msg))
-        | None ->
-          let rng = Netgraph.Rng.create seed in
-          Ok
-            (Fabric.Schedule.generate g ~rng ~events ~switch_removals:removals ~drains ~up_fraction:0.35
-               ())
-      in
-      match schedule with
+      match load_schedule g ~schedule_file ~seed ~events ~removals ~drains with
       | Error msg ->
         prerr_endline msg;
         2
@@ -307,6 +326,7 @@ let manage_cmd =
               1
             end
           in
+          Option.iter (write_stats_json mgr) stats_out;
           Fabric.Manager.release mgr;
           code))
   in
@@ -368,12 +388,109 @@ let manage_cmd =
   let print_schedule =
     Arg.(value & flag & info [ "print-schedule" ] ~doc:"Echo the schedule before replaying it.")
   in
+  let stats_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stats-json" ] ~docv:"FILE"
+          ~doc:"Write the manager + process observability registries as JSON to FILE (\"-\" = stdout).")
+  in
   Cmd.v
     (Cmd.info "manage"
        ~doc:"run the live fabric manager over a fault schedule and print a convergence report")
     Term.(
       const run $ spec $ events $ seed $ schedule_file $ removals $ drains $ algorithm $ max_layers
-      $ layer_budget $ repair_fraction $ batch $ domains $ print_schedule)
+      $ layer_budget $ repair_fraction $ batch $ domains $ print_schedule $ stats_out)
+
+(* trace: the manage path again, but with observability enabled and a
+   JSON-lines span sink — one compact JSON object per span, innermost
+   first. Progress goes to stderr so "--out -" stays machine-readable. *)
+let trace_cmd =
+  let run spec events seed schedule_file removals drains algorithm max_layers out stats_out =
+    match load_spec spec with
+    | Error msg ->
+      prerr_endline msg;
+      2
+    | Ok t -> (
+      let g = t.Harness.Topospec.graph in
+      match load_schedule g ~schedule_file ~seed ~events ~removals ~drains with
+      | Error msg ->
+        prerr_endline msg;
+        2
+      | Ok schedule ->
+        let oc, close =
+          if out = "-" then (stdout, fun () -> flush stdout)
+          else
+            let oc = open_out out in
+            (oc, fun () -> close_out oc)
+        in
+        Obs.Control.set_enabled true;
+        Obs.Trace.set_sink (Some (Obs.Trace.channel_sink oc));
+        let code =
+          match
+            Fabric.Manager.create
+              ~config:{ Fabric.Manager.default_config with algorithm; max_layers }
+              g
+          with
+          | Error msg ->
+            Format.eprintf "initial routing failed: %s@." msg;
+            1
+          | Ok mgr ->
+            let outcomes = Fabric.Manager.run mgr schedule in
+            Format.eprintf "replayed %d event(s), epoch %d, %s@." (List.length outcomes)
+              (Fabric.Manager.epoch mgr)
+              (if Fabric.Manager.converged mgr then "converged" else "NOT CONVERGED");
+            Option.iter (write_stats_json mgr) stats_out;
+            Fabric.Manager.release mgr;
+            if Fabric.Manager.converged mgr then 0 else 1
+        in
+        Obs.Trace.set_sink None;
+        Obs.Control.set_enabled false;
+        close ();
+        (if out <> "-" then Format.eprintf "wrote %s@." out);
+        code)
+  in
+  let spec = Arg.(required & pos 0 (some string) None & info [] ~docv:"SPEC") in
+  let events =
+    Arg.(value & opt int 10 & info [ "events" ] ~docv:"N" ~doc:"Generated schedule length.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED") in
+  let schedule_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "schedule" ] ~docv:"FILE" ~doc:"Replay this schedule file instead of generating one.")
+  in
+  let removals =
+    Arg.(value & opt int 1 & info [ "switch-removals" ] ~docv:"N" ~doc:"Switch removals to schedule.")
+  in
+  let drains =
+    Arg.(value & opt int 0 & info [ "drains" ] ~docv:"N" ~doc:"Switch drains to schedule.")
+  in
+  let algorithm =
+    Arg.(value & opt string "dfsssp" & info [ "algorithm" ] ~docv:"NAME" ~doc:"Routing algorithm.")
+  in
+  let max_layers =
+    Arg.(value & opt int 8 & info [ "max-layers" ] ~docv:"K" ~doc:"Virtual layer budget.")
+  in
+  let out =
+    Arg.(
+      value & opt string "-"
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Span destination, one JSON object per line (\"-\" = stdout).")
+  in
+  let stats_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stats-json" ] ~docv:"FILE"
+          ~doc:"Also write the observability registries as JSON to FILE (\"-\" = stdout).")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"replay a fault schedule with tracing enabled, emitting JSON-lines spans")
+    Term.(
+      const run $ spec $ events $ seed $ schedule_file $ removals $ drains $ algorithm $ max_layers
+      $ out $ stats_out)
 
 let () =
   let doc = "fabric generation, inspection and conversion utilities" in
@@ -381,4 +498,4 @@ let () =
     (Cmd.eval'
        (Cmd.group
           (Cmd.info "fabric_tool" ~version:"1.0.0" ~doc)
-          [ info_cmd; convert_cmd; degrade_cmd; diff_cmd; analyze_cmd; manage_cmd ]))
+          [ info_cmd; convert_cmd; degrade_cmd; diff_cmd; analyze_cmd; manage_cmd; trace_cmd ]))

@@ -11,17 +11,34 @@ type report = {
   verdict : verdict;
 }
 
-let certify ft =
-  match Cert.of_table ft with
-  | Error e -> Error (Cert.error_to_string e)
-  | Ok cert -> (
-    (* the generated witness is untrusted until the checker re-derives
-       every dependency from the artifact and accepts it *)
-    match Cert.check_table cert ft with
-    | Ok () -> Ok cert
-    | Error msg -> Error (Printf.sprintf "checker refuted the generated witness: %s" msg))
+(* Certifier telemetry: one counter/timer sample per run, a span per
+   analyze — the per-engine "performance counters" the InfiniBand
+   controller literature exports for its routing engines. *)
+let c_certify = Obs.Registry.counter "analysis.certify" ~desc:"certificate generate+check runs"
 
-let analyze ?hop_budget ?graph ft =
+let c_analyses = Obs.Registry.counter "analysis.analyses" ~desc:"full analyzer runs"
+
+let c_certified = Obs.Registry.counter "analysis.certified" ~desc:"analyzer verdicts: certified"
+
+let c_rejected = Obs.Registry.counter "analysis.rejected" ~desc:"analyzer verdicts: rejected"
+
+let t_certify = Obs.Registry.timer "analysis.certify" ~desc:"seconds per certificate generate+check"
+
+let t_analyze = Obs.Registry.timer "analysis.analyze" ~desc:"seconds per full analyzer run"
+
+let certify ft =
+  Obs.Counter.incr c_certify;
+  Obs.Timer.time t_certify (fun () ->
+      match Cert.of_table ft with
+      | Error e -> Error (Cert.error_to_string e)
+      | Ok cert -> (
+        (* the generated witness is untrusted until the checker re-derives
+           every dependency from the artifact and accepts it *)
+        match Cert.check_table cert ft with
+        | Ok () -> Ok cert
+        | Error msg -> Error (Printf.sprintf "checker refuted the generated witness: %s" msg)))
+
+let analyze_inner ?hop_budget ?graph ft =
   let findings = Lint.table ?hop_budget ?graph ft in
   let findings, verdict =
     match Cert.of_table ft with
@@ -47,6 +64,30 @@ let analyze ?hop_budget ?graph ft =
     findings;
     verdict;
   }
+
+let analyze ?hop_budget ?graph ft =
+  Obs.Counter.incr c_analyses;
+  let span =
+    Obs.Trace.begin_span "analysis.analyze" ~attrs:(fun () ->
+        [
+          ("algorithm", Obs.Trace.Str (Ftable.algorithm ft));
+          ("terminals", Obs.Trace.Int (Graph.num_terminals (Ftable.graph ft)));
+        ])
+  in
+  let report = Obs.Timer.time t_analyze (fun () -> analyze_inner ?hop_budget ?graph ft) in
+  (match report.verdict with
+  | Certified _ -> Obs.Counter.incr c_certified
+  | Rejected _ -> Obs.Counter.incr c_rejected);
+  Obs.Trace.end_span span
+    ~attrs:
+      [
+        ( "verdict",
+          Obs.Trace.Str (match report.verdict with Certified _ -> "certified" | Rejected _ -> "rejected")
+        );
+        ("errors", Obs.Trace.Int (Diag.num_errors report.findings));
+        ("warnings", Obs.Trace.Int (Diag.num_warnings report.findings));
+      ];
+  report
 
 let ok r =
   (match r.verdict with Certified _ -> true | Rejected _ -> false) && Diag.num_errors r.findings = 0

@@ -8,8 +8,13 @@ type outcome = {
   cycles_broken : int;
 }
 
-let assign_store store ~max_layers ~heuristic =
-  if max_layers < 1 then invalid_arg "Layers.assign: max_layers < 1";
+let c_assignments = Obs.Registry.counter "layers.assignments" ~desc:"offline layer assignments run"
+
+let c_cycles = Obs.Registry.counter "layers.cycles_broken" ~desc:"CDG cycles broken across all assignments"
+
+let t_assign = Obs.Registry.timer "layers.assign" ~desc:"seconds per offline layer assignment"
+
+let assign_store_inner store ~max_layers ~heuristic =
   let g = Route_store.graph store in
   let layer_of_path = Array.make (Route_store.capacity store) (-1) in
   Route_store.iter_pairs store (fun pr -> layer_of_path.(pr) <- 0);
@@ -72,6 +77,29 @@ let assign_store store ~max_layers ~heuristic =
         m "assigned %d routes over %d layer(s), breaking %d cycle(s)" (Route_store.num_paths store)
           layers_used !cycles_broken);
     Ok { layer_of_path; layers_used; cycles_broken = !cycles_broken }
+
+let assign_store store ~max_layers ~heuristic =
+  if max_layers < 1 then invalid_arg "Layers.assign: max_layers < 1";
+  Obs.Counter.incr c_assignments;
+  let span =
+    Obs.Trace.begin_span "layers.assign" ~attrs:(fun () ->
+        [
+          ("paths", Obs.Trace.Int (Route_store.num_paths store));
+          ("max_layers", Obs.Trace.Int max_layers);
+        ])
+  in
+  let result = Obs.Timer.time t_assign (fun () -> assign_store_inner store ~max_layers ~heuristic) in
+  (match result with
+  | Ok o ->
+    Obs.Counter.incr ~n:o.cycles_broken c_cycles;
+    Obs.Trace.end_span span
+      ~attrs:
+        [
+          ("layers_used", Obs.Trace.Int o.layers_used);
+          ("cycles_broken", Obs.Trace.Int o.cycles_broken);
+        ]
+  | Error msg -> Obs.Trace.end_span span ~attrs:[ ("error", Obs.Trace.Str msg) ]);
+  result
 
 let assign g ~paths ~max_layers ~heuristic =
   assign_store (Route_store.of_paths g paths) ~max_layers ~heuristic

@@ -48,20 +48,37 @@ let assign_layers ?(variant = Offline) ?(heuristic = Heuristic.Weakest) ?(max_la
       Ok ft)
 
 let route ?variant ?heuristic ?max_layers ?balance ?batch ?domains ?pool g =
-  match Routing.Sssp.route ?batch ?domains ?pool g with
-  | Error msg -> Error (Routing_failed msg)
-  | Ok ft -> (
-    match assign_layers ?variant ?heuristic ?max_layers ?balance ft with
-    | Ok ft as ok ->
-      Log.info (fun m ->
-          m "routed %d terminals over %d channels: %d virtual layer(s)"
-            (Graph.num_terminals (Routing.Ftable.graph ft))
-            (Graph.num_channels (Routing.Ftable.graph ft))
-            (Routing.Ftable.num_layers ft));
-      ok
-    | Error e as err ->
-      Log.err (fun m -> m "%s" (error_to_string e));
-      err)
+  let span =
+    Obs.Trace.begin_span "dfsssp.route" ~attrs:(fun () ->
+        [
+          ("terminals", Obs.Trace.Int (Graph.num_terminals g));
+          ("channels", Obs.Trace.Int (Graph.num_channels g));
+          ( "variant",
+            Obs.Trace.Str (match variant with Some Online -> "online" | _ -> "offline") );
+        ])
+  in
+  let result =
+    match Routing.Sssp.route ?batch ?domains ?pool g with
+    | Error msg -> Error (Routing_failed msg)
+    | Ok ft -> (
+      match assign_layers ?variant ?heuristic ?max_layers ?balance ft with
+      | Ok ft as ok ->
+        Log.info (fun m ->
+            m "routed %d terminals over %d channels: %d virtual layer(s)"
+              (Graph.num_terminals (Routing.Ftable.graph ft))
+              (Graph.num_channels (Routing.Ftable.graph ft))
+              (Routing.Ftable.num_layers ft));
+        ok
+      | Error e as err ->
+        Log.err (fun m -> m "%s" (error_to_string e));
+        err)
+  in
+  (match result with
+  | Ok ft ->
+    Obs.Trace.end_span span
+      ~attrs:[ ("layers", Obs.Trace.Int (Routing.Ftable.num_layers ft)) ]
+  | Error e -> Obs.Trace.end_span span ~attrs:[ ("error", Obs.Trace.Str (error_to_string e)) ]);
+  result
 
 let layers_required ?variant ?heuristic ?max_layers ?batch ?domains g =
   match route ?variant ?heuristic ?max_layers ?batch ?domains g with

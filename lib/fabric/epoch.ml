@@ -19,6 +19,20 @@ let active t = t.active
 let history t = List.rev t.entries
 
 let try_swap t ~label candidate =
+  let span =
+    Obs.Trace.begin_span "fabric.try_swap" ~attrs:(fun () -> [("label", Obs.Trace.Str label)])
+  in
+  let finish ((result, _) as r) =
+    Obs.Trace.end_span span
+      ~attrs:
+        [
+          ("ok", Obs.Trace.Bool (Result.is_ok result));
+          ("epoch", Obs.Trace.Int t.epoch);
+        ];
+    r
+  in
+  finish
+  @@
   let t0 = Unix.gettimeofday () in
   (* The independent certificate gate runs first: the trusted checker in
      lib/analysis must accept a topological witness for every layer

@@ -73,6 +73,13 @@ let event_log t = List.rev t.outcomes
    structural rebuilds and non-DFSSSP algorithms. *)
 let full_route t =
   let g = Fabstate.graph t.state in
+  Obs.Trace.with_span "fabric.full_route"
+    ~attrs:(fun () ->
+      [
+        ("algorithm", Obs.Trace.Str t.config.algorithm);
+        ("terminals", Obs.Trace.Int (Graph.num_terminals g));
+      ])
+  @@ fun () ->
   if t.config.algorithm = "dfsssp" then begin
     t.weights <- Sssp.initial_weights g;
     match Sssp.route_plane ~batch:t.config.batch ?pool:t.pool g ~weights:t.weights with
@@ -122,12 +129,12 @@ let create ?(config = default_config) g =
     | Ok ft -> (
       match Epoch.try_swap t.epochs ~label:"initial" ft with
       | Error msg, verify_s ->
-        t.metrics.Metrics.verify_s <- t.metrics.Metrics.verify_s +. verify_s;
+        Obs.Timer.add t.metrics.Metrics.verify verify_s;
         release t;
         Error (Printf.sprintf "initial tables rejected: %s" msg)
       | Ok _, verify_s ->
-        t.metrics.Metrics.verify_s <- t.metrics.Metrics.verify_s +. verify_s;
-        t.metrics.Metrics.swap_epochs <- Epoch.epoch t.epochs;
+        Obs.Timer.add t.metrics.Metrics.verify verify_s;
+        Obs.Counter.set t.metrics.Metrics.swap_epochs (Epoch.epoch t.epochs);
         Ok t)
   end
 
@@ -148,7 +155,7 @@ let full_swap t ~event ~t0 ~reason ~fallback ~diff_against =
   let tr0 = Unix.gettimeofday () in
   match full_route t with
   | Error msg ->
-    m.Metrics.repair_s <- m.Metrics.repair_s +. (Unix.gettimeofday () -. tr0);
+    Obs.Timer.add m.Metrics.repair (Unix.gettimeofday () -. tr0);
     finish t
       {
         event;
@@ -162,11 +169,11 @@ let full_swap t ~event ~t0 ~reason ~fallback ~diff_against =
         elapsed_s = Unix.gettimeofday () -. t0;
       }
   | Ok ft -> (
-    m.Metrics.repair_s <- m.Metrics.repair_s +. (Unix.gettimeofday () -. tr0);
+    Obs.Timer.add m.Metrics.repair (Unix.gettimeofday () -. tr0);
     match Epoch.try_swap t.epochs ~label:(Event.to_string event ^ " (full)") ft with
     | Error msg, verify_s ->
-      m.Metrics.verify_s <- m.Metrics.verify_s +. verify_s;
-      m.Metrics.verify_failures <- m.Metrics.verify_failures + 1;
+      Obs.Timer.add m.Metrics.verify verify_s;
+      Obs.Counter.incr m.Metrics.verify_failures;
       finish t
         {
           event;
@@ -180,9 +187,9 @@ let full_swap t ~event ~t0 ~reason ~fallback ~diff_against =
           elapsed_s = Unix.gettimeofday () -. t0;
         }
     | Ok r, verify_s ->
-      m.Metrics.verify_s <- m.Metrics.verify_s +. verify_s;
-      m.Metrics.full_recomputes <- m.Metrics.full_recomputes + 1;
-      m.Metrics.swap_epochs <- Epoch.epoch t.epochs;
+      Obs.Timer.add m.Metrics.verify verify_s;
+      Obs.Counter.incr m.Metrics.full_recomputes;
+      Obs.Counter.set m.Metrics.swap_epochs (Epoch.epoch t.epochs);
       let table_diff = Option.map (fun old -> Ftable.diff old ft) diff_against in
       finish t
         {
@@ -212,27 +219,33 @@ let incremental_swap t ~event ~t0 ~old_ft ~affected =
   else begin
     let tr0 = Unix.gettimeofday () in
     let layer_budget = min t.config.layer_budget t.config.max_layers in
-    match Repair.patch ~graph:g ~old:old_ft ~dsts:affected ~weights:t.weights ~layer_budget with
+    let patched =
+      Obs.Trace.with_span "fabric.repair"
+        ~attrs:(fun () ->
+          [("destinations", Obs.Trace.Int (List.length affected)); ("total", Obs.Trace.Int total)])
+        (fun () -> Repair.patch ~graph:g ~old:old_ft ~dsts:affected ~weights:t.weights ~layer_budget)
+    in
+    match patched with
     | Error msg ->
-      m.Metrics.repair_s <- m.Metrics.repair_s +. (Unix.gettimeofday () -. tr0);
-      m.Metrics.fallbacks <- m.Metrics.fallbacks + 1;
+      Obs.Timer.add m.Metrics.repair (Unix.gettimeofday () -. tr0);
+      Obs.Counter.incr m.Metrics.fallbacks;
       full_swap t ~event ~t0 ~reason:("incremental repair failed: " ^ msg) ~fallback:true
         ~diff_against:(Some old_ft)
     | Ok patched -> (
-      m.Metrics.repair_s <- m.Metrics.repair_s +. (Unix.gettimeofday () -. tr0);
+      Obs.Timer.add m.Metrics.repair (Unix.gettimeofday () -. tr0);
       match Epoch.try_swap t.epochs ~label:(Event.to_string event ^ " (incremental)") patched.Repair.table with
       | Error msg, verify_s ->
-        m.Metrics.verify_s <- m.Metrics.verify_s +. verify_s;
-        m.Metrics.verify_failures <- m.Metrics.verify_failures + 1;
-        m.Metrics.fallbacks <- m.Metrics.fallbacks + 1;
+        Obs.Timer.add m.Metrics.verify verify_s;
+        Obs.Counter.incr m.Metrics.verify_failures;
+        Obs.Counter.incr m.Metrics.fallbacks;
         full_swap t ~event ~t0 ~reason:("incremental tables rejected: " ^ msg) ~fallback:true
           ~diff_against:(Some old_ft)
       | Ok r, verify_s ->
-        m.Metrics.verify_s <- m.Metrics.verify_s +. verify_s;
-        m.Metrics.incremental_repairs <- m.Metrics.incremental_repairs + 1;
-        m.Metrics.dsts_repaired <- m.Metrics.dsts_repaired + List.length affected;
-        m.Metrics.dsts_total <- m.Metrics.dsts_total + total;
-        m.Metrics.swap_epochs <- Epoch.epoch t.epochs;
+        Obs.Timer.add m.Metrics.verify verify_s;
+        Obs.Counter.incr m.Metrics.incremental_repairs;
+        Obs.Counter.incr ~n:(List.length affected) m.Metrics.dsts_repaired;
+        Obs.Counter.incr ~n:total m.Metrics.dsts_total;
+        Obs.Counter.set m.Metrics.swap_epochs (Epoch.epoch t.epochs);
         finish t
           {
             event;
@@ -247,15 +260,15 @@ let incremental_swap t ~event ~t0 ~old_ft ~affected =
           })
   end
 
-let apply t event =
+let apply_inner t event =
   let t0 = Unix.gettimeofday () in
   let m = t.metrics in
-  m.Metrics.events_seen <- m.Metrics.events_seen + 1;
+  Obs.Counter.incr m.Metrics.events_seen;
   let old_ft = tables t in
   let old_graph = Fabstate.graph t.state in
   match Fabstate.apply t.state event with
   | Error msg ->
-    m.Metrics.events_rejected <- m.Metrics.events_rejected + 1;
+    Obs.Counter.incr m.Metrics.events_rejected;
     finish t
       {
         event;
@@ -269,7 +282,7 @@ let apply t event =
         elapsed_s = Unix.gettimeofday () -. t0;
       }
   | Ok change -> (
-    m.Metrics.events_applied <- m.Metrics.events_applied + 1;
+    Obs.Counter.incr m.Metrics.events_applied;
     match change with
     | Fabstate.Rebuilt ->
       full_swap t ~event ~t0 ~reason:"structural rebuild" ~fallback:false ~diff_against:None
@@ -294,6 +307,26 @@ let apply t event =
       incremental_swap t ~event ~t0 ~old_ft
         ~affected:
           (Repair.beneficiary_destinations ~old_graph ~graph:(Fabstate.graph t.state) ~restored:chans))
+
+let apply t event =
+  let span =
+    Obs.Trace.begin_span "fabric.apply" ~attrs:(fun () ->
+        [("event", Obs.Trace.Str (Event.to_string event))])
+  in
+  let o = apply_inner t event in
+  Obs.Trace.end_span span
+    ~attrs:
+      [
+        ( "action",
+          Obs.Trace.Str
+            (match o.action with
+            | Incremental _ -> "incremental"
+            | Full _ -> "full"
+            | Noop -> "noop") );
+        ("applied", Obs.Trace.Bool o.applied);
+        ("epoch", Obs.Trace.Int o.epoch);
+      ];
+  o
 
 let run t schedule = List.map (apply t) schedule
 

@@ -1,5 +1,25 @@
 let recommended_domains () = min 8 (Domain.recommended_domain_count ())
 
+(* Pool telemetry (process-wide, in the default Obs registry). Counters
+   are per-slot cells so workers never contend; the busy-time timer only
+   runs while Obs.Control is enabled, so the disabled pool pays two
+   untaken branches per task. Slot indices clamp inside Obs, so pools
+   larger than the cell count degrade to sharing the last cell. *)
+let obs_slots = 16
+
+let c_runs = Obs.Registry.counter "pool.runs" ~desc:"parallel fan-outs dispatched"
+
+let c_chunks =
+  Obs.Registry.counter "pool.chunks" ~slots:obs_slots ~desc:"work chunks claimed off the shared cursor"
+
+let c_stalls =
+  Obs.Registry.counter "pool.stalls" ~slots:obs_slots
+    ~desc:"workers that found the chunk cursor already exhausted"
+
+let t_slot_busy =
+  Obs.Registry.timer "pool.slot_busy" ~slots:obs_slots
+    ~desc:"per-slot seconds inside pool tasks (recorded only while obs is enabled)"
+
 module Pool = struct
   type 's t = {
     size : int; (* workers, including the calling domain as slot 0 *)
@@ -68,15 +88,20 @@ module Pool = struct
         let grain = max 1 (Option.value grain ~default:(n / (4 * pool.size))) in
         let next = Atomic.make 0 in
         let failure = Atomic.make None in
+        Obs.Counter.incr c_runs;
         (* chunked work distribution: each worker grabs [grain] indices at a
            time off a shared cursor, so uneven per-index cost still balances *)
         let task slot =
+          let timed = Obs.Control.enabled () in
+          let t0 = if timed then Unix.gettimeofday () else 0.0 in
           let s = pool.scratch.(slot) in
+          let chunks = ref 0 in
           let continue = ref true in
           while !continue do
             let lo = Atomic.fetch_and_add next grain in
             if lo >= n then continue := false
             else begin
+              incr chunks;
               let hi = min n (lo + grain) in
               try
                 for i = lo to hi - 1 do
@@ -88,7 +113,10 @@ module Pool = struct
                 | Some _ -> ());
                 continue := false
             end
-          done
+          done;
+          if !chunks > 0 then Obs.Counter.incr ~slot ~n:!chunks c_chunks
+          else Obs.Counter.incr ~slot c_stalls;
+          if timed then Obs.Timer.add ~slot t_slot_busy (Unix.gettimeofday () -. t0)
         in
         Mutex.lock pool.lock;
         if pool.stop then begin

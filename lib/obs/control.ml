@@ -1,0 +1,16 @@
+(* The master switch. Observability is compiled in everywhere but OFF by
+   default: counters and timers always count (they are a handful of
+   word-sized adds at batch/event granularity), while anything that
+   costs real work — trace spans, per-slot pool timing — is gated here
+   and skipped with a single load when disabled. *)
+
+let flag = Atomic.make false
+
+let enabled () = Atomic.get flag
+
+let set_enabled b = Atomic.set flag b
+
+let with_enabled b f =
+  let prev = Atomic.get flag in
+  Atomic.set flag b;
+  Fun.protect ~finally:(fun () -> Atomic.set flag prev) f

@@ -1,0 +1,12 @@
+(** The process-wide observability switch. Counters and timers always
+    accumulate (word-sized adds at coarse granularity); trace spans and
+    per-slot pool timing run only while [enabled ()] — a single atomic
+    load on the fast path — so the instrumented hot paths cost nothing
+    measurable when the switch is off (the default). *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+(** Run [f] with the switch forced to [b], restoring the previous state
+    afterwards (exception-safe; meant for tests). *)
+val with_enabled : bool -> (unit -> 'a) -> 'a

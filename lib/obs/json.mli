@@ -1,0 +1,35 @@
+(** A dependency-free JSON tree, encoder and parser — the wire format of
+    every observability artifact (registry snapshots, trace spans,
+    benchmark gates). The parser exists so tests and bench gates can
+    consume what the sinks emit without a third-party library. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Escape a string for embedding between double quotes. *)
+val escape : string -> string
+
+val to_buffer : Buffer.t -> t -> unit
+
+(** Compact (single-line) rendering. NaN and infinities encode as
+    [null]; integral floats print without a fractional part. *)
+val to_string : t -> string
+
+(** Parse a complete JSON document (trailing garbage is an error). *)
+val of_string : string -> (t, string) result
+
+(** [member key j] is the field [key] of object [j], if any. *)
+val member : string -> t -> t option
+
+val to_float : t -> float option
+
+(** Integral numbers only. *)
+val to_int : t -> int option
+
+val to_str : t -> string option
+val to_list : t -> t list option

@@ -1,0 +1,65 @@
+(* Sample statistics shared by the simulators, the harness and the
+   timers. One implementation, one ordering: sorting uses [Float.compare]
+   (the IEEE total order: NaN first, then -inf .. +inf), never the
+   polymorphic [compare], so percentile ranks are deterministic and
+   independent of the input order even for samples containing NaN. *)
+
+type summary = {
+  n : int;
+  min : float;
+  max : float;
+  mean : float;
+  stddev : float;
+  median : float;
+}
+
+let mean xs =
+  if Array.length xs = 0 then invalid_arg "Obs.Stat.mean: empty sample";
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+let sorted_copy xs =
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  sorted
+
+(* Nearest-rank percentile on an already-sorted sample. *)
+let percentile_sorted p sorted =
+  if Array.length sorted = 0 then invalid_arg "Obs.Stat.percentile: empty sample";
+  if not (p >= 0.0 && p <= 1.0) then invalid_arg "Obs.Stat.percentile: p out of range";
+  let n = Array.length sorted in
+  let rank = int_of_float (ceil (p *. float_of_int n)) in
+  sorted.(max 0 (min (n - 1) (rank - 1)))
+
+let percentile p xs = percentile_sorted p (sorted_copy xs)
+
+let summarize xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Obs.Stat.summarize: empty sample";
+  let sorted = sorted_copy xs in
+  let mu = mean xs in
+  let var = Array.fold_left (fun acc x -> acc +. ((x -. mu) *. (x -. mu))) 0.0 xs /. float_of_int n in
+  {
+    n;
+    (* extrema off the sorted ends: deterministic under the total order,
+       where a fold with [min]/[max] would be order-sensitive around NaN *)
+    min = sorted.(0);
+    max = sorted.(n - 1);
+    mean = mu;
+    stddev = sqrt var;
+    median = percentile_sorted 0.5 sorted;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d min=%.4f median=%.4f mean=%.4f max=%.4f sd=%.4f" s.n s.min s.median s.mean s.max
+    s.stddev
+
+let summary_to_json s =
+  Json.Obj
+    [
+      ("n", Json.Num (float_of_int s.n));
+      ("min", Json.Num s.min);
+      ("max", Json.Num s.max);
+      ("mean", Json.Num s.mean);
+      ("stddev", Json.Num s.stddev);
+      ("median", Json.Num s.median);
+    ]

@@ -1,0 +1,25 @@
+(** Sample statistics, with one deterministic ordering. All sorting uses
+    [Float.compare] (IEEE total order: NaN sorts first), never the
+    polymorphic [compare], so results are independent of input order
+    even when a sample contains NaN. *)
+
+type summary = {
+  n : int;
+  min : float;
+  max : float;
+  mean : float;
+  stddev : float;
+  median : float;
+}
+
+(** Summary of a non-empty sample. @raise Invalid_argument on empty. *)
+val summarize : float array -> summary
+
+(** [percentile p xs] for [p] in [0, 1], nearest-rank on a sorted copy.
+    @raise Invalid_argument on an empty sample or [p] outside [0, 1]
+    (including NaN). *)
+val percentile : float -> float array -> float
+
+val mean : float array -> float
+val pp_summary : Format.formatter -> summary -> unit
+val summary_to_json : summary -> Json.t

@@ -6,6 +6,12 @@
    snapshot, so the batch is embarrassingly parallel, and the batch's
    contributions are merged before the next snapshot is taken. *)
 
+(* One counter bump per snapshot: the batch count is the telemetry that
+   explains a plane's parallel shape (destinations / batches = average
+   fan-out width). Spans per batch appear only while tracing is live. *)
+let c_snapshots =
+  Obs.Registry.counter "batched.snapshots" ~desc:"balancing-state snapshots frozen by the batched driver"
+
 let run ~pool ~batch ~dsts ~freeze ~dest ~merge =
   let nt = Array.length dsts in
   let batch = max 1 batch in
@@ -14,18 +20,22 @@ let run ~pool ~batch ~dsts ~freeze ~dest ~merge =
   while !error = None && !lo < nt do
     let base = !lo in
     let hi = min nt (base + batch) in
+    Obs.Counter.incr c_snapshots;
     freeze ();
     (* Per-slot error cells: the error reported is the one of the lowest
        destination index, exactly as a sequential scan would find it. *)
     let errs = Array.make (hi - base) None in
-    Parallel.Pool.run pool ~n:(hi - base) ~grain:1 (fun s k ->
-        match dest s dsts.(base + k) with
-        | Ok () -> ()
-        | Error msg -> errs.(k) <- Some msg);
-    (* Merge per-domain contributions in slot order. The merged state is
-       a sum of per-destination contributions, so any merge order yields
-       identical weights; slot order just makes the walk deterministic. *)
-    Parallel.Pool.iter_scratch pool merge;
+    Obs.Trace.with_span "batched.batch"
+      ~attrs:(fun () -> [ ("base", Obs.Trace.Int base); ("size", Obs.Trace.Int (hi - base)) ])
+      (fun () ->
+        Parallel.Pool.run pool ~n:(hi - base) ~grain:1 (fun s k ->
+            match dest s dsts.(base + k) with
+            | Ok () -> ()
+            | Error msg -> errs.(k) <- Some msg);
+        (* Merge per-domain contributions in slot order. The merged state is
+           a sum of per-destination contributions, so any merge order yields
+           identical weights; slot order just makes the walk deterministic. *)
+        Parallel.Pool.iter_scratch pool merge);
     Array.iter (fun e -> if !error = None && e <> None then error := e) errs;
     lo := hi
   done;

@@ -4,12 +4,23 @@ let initial_weights g =
 
 let recommended_batch = 32
 
+(* Plane-level telemetry (doc/observability.md): one counter bump per
+   destination tree, one timer sample + span per route_destinations
+   call. Nothing inside the Dijkstra or tree-walk loops is touched. *)
+let c_dsts = Obs.Registry.counter "sssp.destinations" ~desc:"destination trees routed"
+
+let c_planes = Obs.Registry.counter "sssp.planes" ~desc:"route_destinations invocations"
+
+let t_plane =
+  Obs.Registry.timer "sssp.route_destinations" ~desc:"seconds per route_destinations invocation"
+
 (* One destination: weighted Dijkstra toward [dst] over [weights], table
    entries from the via-tree, then the tree's terminal flows accumulated
    far-to-near and emitted through [record] (one call per tree channel).
    [record] abstracts where the load lands: the live weight array for the
    sequential recurrence, a per-domain delta for the batched pipeline. *)
 let route_destination_core ws g ~weights ~record ~order ~flow ~ft ~dst =
+  Obs.Counter.incr c_dsts;
   let dist, via = Dijkstra.toward ws g ~weights ~dst in
   if Array.exists (fun d -> d = max_int) dist then
     Error (Printf.sprintf "sssp: node unreachable toward %d" dst)
@@ -138,9 +149,7 @@ let route_destinations_batched pool ~batch g ~weights ~ft ~dsts =
         sc.num_touched <- 0
       end)
 
-let route_destinations ?(batch = 1) ?(domains = 1) ?pool g ~weights ~ft ~dsts =
-  if Array.length weights <> Graph.num_channels g then
-    invalid_arg "Sssp.route_destinations: weights size";
+let route_destinations_inner ?(batch = 1) ?(domains = 1) ?pool g ~weights ~ft ~dsts =
   match pool with
   | Some pool -> route_destinations_batched pool ~batch g ~weights ~ft ~dsts
   | None ->
@@ -163,6 +172,25 @@ let route_destinations ?(batch = 1) ?(domains = 1) ?pool g ~weights ~ft ~dsts =
     else
       Parallel.Pool.with_pool ~domains fresh_scratch (fun pool ->
           route_destinations_batched pool ~batch g ~weights ~ft ~dsts)
+
+let route_destinations ?batch ?domains ?pool g ~weights ~ft ~dsts =
+  if Array.length weights <> Graph.num_channels g then
+    invalid_arg "Sssp.route_destinations: weights size";
+  Obs.Counter.incr c_planes;
+  Obs.Timer.time t_plane (fun () ->
+      Obs.Trace.with_span "sssp.route_destinations"
+        ~attrs:(fun () ->
+          [
+            ("destinations", Obs.Trace.Int (Array.length dsts));
+            ("batch", Obs.Trace.Int (Option.value batch ~default:1));
+            ( "domains",
+              Obs.Trace.Int
+                (match pool with
+                | Some p -> Parallel.Pool.size p
+                | None -> Option.value domains ~default:1) );
+            ("pooled", Obs.Trace.Bool (pool <> None));
+          ])
+        (fun () -> route_destinations_inner ?batch ?domains ?pool g ~weights ~ft ~dsts))
 
 let route_plane ?batch ?domains ?pool g ~weights =
   if Array.length weights <> Graph.num_channels g then invalid_arg "Sssp.route_plane: weights size";

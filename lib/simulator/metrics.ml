@@ -1,4 +1,9 @@
-type summary = {
+(* Sample statistics for the simulators and the harness. The
+   implementation lives in Obs.Stat (one deterministic ordering, shared
+   with the observability timers); this module keeps the historical
+   [Simulator.Metrics] doorway so simulator users never reach below. *)
+
+type summary = Obs.Stat.summary = {
   n : int;
   min : float;
   max : float;
@@ -7,33 +12,7 @@ type summary = {
   median : float;
 }
 
-let mean xs =
-  if Array.length xs = 0 then invalid_arg "Metrics.mean: empty sample";
-  Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
-
-let percentile p xs =
-  if Array.length xs = 0 then invalid_arg "Metrics.percentile: empty sample";
-  if p < 0.0 || p > 1.0 then invalid_arg "Metrics.percentile: p out of range";
-  let sorted = Array.copy xs in
-  Array.sort compare sorted;
-  let n = Array.length sorted in
-  let rank = int_of_float (ceil (p *. float_of_int n)) in
-  sorted.(max 0 (min (n - 1) (rank - 1)))
-
-let summarize xs =
-  let n = Array.length xs in
-  if n = 0 then invalid_arg "Metrics.summarize: empty sample";
-  let mu = mean xs in
-  let var = Array.fold_left (fun acc x -> acc +. ((x -. mu) *. (x -. mu))) 0.0 xs /. float_of_int n in
-  {
-    n;
-    min = Array.fold_left min xs.(0) xs;
-    max = Array.fold_left max xs.(0) xs;
-    mean = mu;
-    stddev = sqrt var;
-    median = percentile 0.5 xs;
-  }
-
-let pp_summary ppf s =
-  Format.fprintf ppf "n=%d min=%.4f median=%.4f mean=%.4f max=%.4f sd=%.4f" s.n s.min s.median s.mean s.max
-    s.stddev
+let mean = Obs.Stat.mean
+let percentile = Obs.Stat.percentile
+let summarize = Obs.Stat.summarize
+let pp_summary = Obs.Stat.pp_summary

@@ -1,7 +1,9 @@
 (** Small statistics helpers shared by the simulators and the experiment
-    harness. *)
+    harness — a re-export of {!Obs.Stat}, which owns the single
+    implementation (deterministic [Float.compare] ordering, NaN sorts
+    first). *)
 
-type summary = {
+type summary = Obs.Stat.summary = {
   n : int;
   min : float;
   max : float;

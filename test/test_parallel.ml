@@ -15,24 +15,15 @@
    `make check` runs this binary as the 2-domain smoke test of the
    pipeline. *)
 
-let qtest ?(count = 8) name gen prop = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+let qtest ?(count = 8) name gen prop = Testutil.qtest ~count name gen prop
 
-let seed_gen = QCheck2.Gen.int_range 0 100_000
+let seed_gen = Testutil.seed_gen
 
-(* The fabric mix of the ISSUE: ring, torus, XGFT, dragonfly — sizes
-   jittered by the seed. *)
-let fabric seed =
-  match seed mod 4 with
-  | 0 -> ("ring", Topo_ring.make ~switches:(6 + (seed mod 5)) ~terminals_per_switch:2)
-  | 1 ->
-    ( "torus",
-      fst (Topo_torus.torus ~dims:[| 3 + (seed mod 3); 3 + (seed / 3 mod 3) |] ~terminals_per_switch:2) )
-  | 2 ->
-    let ms = [| 2 + (seed mod 2); 3 |] and ws = [| 1; 2 |] in
-    ("xgft", Topo_xgft.make ~ms ~ws ~endpoints:(2 * Topo_xgft.num_leaves ~ms))
-  | _ -> ("dragonfly", Topo_dragonfly.make ~a:(3 + (seed mod 2)) ~p:2 ~h:2 ())
+(* The fabric mix of the ISSUE (ring, torus, XGFT, dragonfly), shared
+   with the other suites via Testutil. *)
+let fabric = Testutil.fabric
 
-let same_tables a b = (Routing.Ftable.diff a b).Routing.Ftable.entries_changed = 0
+let same_tables = Testutil.same_tables
 
 let route_plane_exn ?batch ?domains ?pool g ~weights =
   match Routing.Sssp.route_plane ?batch ?domains ?pool g ~weights with
@@ -128,6 +119,29 @@ let sssp_route_destinations_subset () =
   Alcotest.(check bool) "subset tables" true (same_tables ft_seq ft_par);
   Alcotest.(check (array int)) "subset weights" w_seq w_par
 
+(* Switching observability on — spans flowing to a live sink, per-slot
+   pool timing active — must not perturb the routed tables: batch 1 on
+   2 instrumented domains still reproduces the bare sequential
+   recurrence bit-for-bit, and every emitted span line parses as JSON. *)
+let sssp_deterministic_under_instrumentation =
+  qtest ~count:4 "sssp: tracing enabled does not perturb tables" seed_gen (fun seed ->
+      let _, g = fabric seed in
+      let w_seq = Routing.Sssp.initial_weights g in
+      let ft_seq = route_plane_exn g ~weights:w_seq in
+      let buf = Buffer.create 4096 in
+      let w_par = Routing.Sssp.initial_weights g in
+      let ft_par =
+        Obs.Control.with_enabled true (fun () ->
+            Obs.Trace.with_sink (Obs.Trace.buffer_sink buf) (fun () ->
+                route_plane_exn ~batch:1 ~domains:2 g ~weights:w_par))
+      in
+      let lines =
+        String.split_on_char '\n' (Buffer.contents buf) |> List.filter (fun l -> l <> "")
+      in
+      lines <> []
+      && List.for_all (fun l -> Result.is_ok (Obs.Json.of_string l)) lines
+      && same_tables ft_seq ft_par && w_seq = w_par)
+
 (* ------------------------------------------------------------------ *)
 (* Engines                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -205,6 +219,7 @@ let () =
           sssp_batched_still_minimal;
           Alcotest.test_case "error parity" `Quick sssp_error_parity;
           Alcotest.test_case "destination subset" `Quick sssp_route_destinations_subset;
+          sssp_deterministic_under_instrumentation;
         ] );
       ("engines", [ minhop_contract; updown_contract; ftree_domains_invariant; dor_domains_invariant ]);
       ("registry", [ registry_domains_invariant ]);

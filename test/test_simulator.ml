@@ -27,9 +27,9 @@ let test_metrics_percentile () =
   check feq "p0" 1.0 (Simulator.Metrics.percentile 0.0 xs)
 
 let test_metrics_errors () =
-  Alcotest.check_raises "empty" (Invalid_argument "Metrics.summarize: empty sample") (fun () ->
+  Alcotest.check_raises "empty" (Invalid_argument "Obs.Stat.summarize: empty sample") (fun () ->
       ignore (Simulator.Metrics.summarize [||]));
-  Alcotest.check_raises "bad p" (Invalid_argument "Metrics.percentile: p out of range") (fun () ->
+  Alcotest.check_raises "bad p" (Invalid_argument "Obs.Stat.percentile: p out of range") (fun () ->
       ignore (Simulator.Metrics.percentile 1.5 [| 1.0 |]))
 
 (* ------------------------------------------------------------------ *)
