@@ -1,4 +1,4 @@
-.PHONY: all check test lint doc clean bench-cdg bench-routing coverage
+.PHONY: all check test lint doc clean bench-cdg bench-routing bench-service smoke-service coverage
 
 all:
 	dune build
@@ -8,7 +8,7 @@ all:
 # determinism smoke of the parallel routing pipeline), and the routing
 # certifier signs off on the example topologies.
 check:
-	dune build && dune build --profile release && dune runtest && $(MAKE) lint
+	dune build && dune build --profile release && dune runtest && $(MAKE) lint && $(MAKE) smoke-service
 
 test: check
 
@@ -31,6 +31,35 @@ bench-cdg:
 # as skipped in the JSON otherwise.
 bench-routing:
 	dune exec --profile release bench/routing_bench.exe
+
+# Controller-service throughput/latency gate (DESIGN.md §14). Starts a
+# real server in-process and hammers it with 16 client threads under
+# topology churn; writes bench_results/service_latency.json. The first
+# run records its qps as the baseline; later runs fail below 40% of it.
+bench-service:
+	dune exec --profile release bench/service_bench.exe
+
+# Daemon smoke test: start `fabric_tool serve` as a real separate
+# process, query it over the socket with `fabric_tool client`, apply an
+# event, and shut it down cleanly. Guards the ends the in-process soak
+# test cannot see: CLI wiring, signal/exit paths, socket unlinking.
+smoke-service:
+	@set -e; \
+	sock=$$(mktemp -u /tmp/fabsvc_smoke_XXXXXX.sock); \
+	dune exec bin/fabric_tool.exe -- serve torus:4x4 --socket $$sock & \
+	pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true; rm -f $$sock' EXIT; \
+	for i in $$(seq 1 100); do [ -S $$sock ] && break; sleep 0.05; done; \
+	[ -S $$sock ] || { echo "smoke-service: daemon never bound $$sock"; exit 1; }; \
+	dune exec bin/fabric_tool.exe -- client --socket $$sock ping; \
+	dune exec bin/fabric_tool.exe -- client --socket $$sock route 16 31; \
+	dune exec bin/fabric_tool.exe -- client --socket $$sock event down 3; \
+	dune exec bin/fabric_tool.exe -- client --socket $$sock route 16 31; \
+	dune exec bin/fabric_tool.exe -- client --socket $$sock shutdown; \
+	wait $$pid; \
+	[ ! -e $$sock ] || { echo "smoke-service: socket not unlinked at shutdown"; exit 1; }; \
+	trap - EXIT; \
+	echo "smoke-service: OK"
 
 # Line-coverage report (doc/observability.md). Every library carries the
 # (instrumentation (backend bisect_ppx)) stanza, which is inert unless

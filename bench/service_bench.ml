@@ -1,0 +1,185 @@
+(* Benchmark gate for the fabric controller service (DESIGN.md §14).
+
+   Starts a real server (select loop, unix socket) in-process, then
+   hammers it: [clients] threads issue route queries back to back while
+   a writer thread churns the topology with down/up events, exactly the
+   serving mix the daemon exists for. Reports sustained throughput and
+   per-query latency percentiles into bench_results/service_latency.json.
+
+   The gate is a carried-forward throughput baseline: the first run
+   records its qps as [baseline_qps]; later runs must stay above
+   [gate_fraction] of that baseline (and re-record the old baseline, so
+   the floor does not creep down with noisy runs). The ratio is loose on
+   purpose — this catches a serving-path regression (an accidental copy,
+   a lost batch, a quadratic scan), not scheduler jitter. *)
+
+let clients = 16
+let queries_per_client = 1_500
+let churn_events = 24
+let gate_fraction = 0.4
+
+let sock_path =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "fabsvc_bench_%d.sock" (Unix.getpid ()))
+
+let results_path = "bench_results/service_latency.json"
+
+let read_baseline path =
+  if not (Sys.file_exists path) then None
+  else
+    let text = In_channel.with_open_text path In_channel.input_all in
+    match Obs.Json.of_string text with
+    | Error _ -> None
+    | Ok doc -> Option.bind (Obs.Json.member "baseline_qps" doc) Obs.Json.to_float
+
+let () =
+  (try Unix.unlink sock_path with Unix.Unix_error _ -> ());
+  let g = fst (Topo_torus.torus ~dims:[| 6; 6 |] ~terminals_per_switch:1) in
+  let config =
+    {
+      Service.Server.default_config with
+      addr = Service.Proto.Unix_path sock_path;
+      tick_s = 0.002;
+      trace_capacity = 0;
+    }
+  in
+  Printf.eprintf "routing the initial fabric...\n%!";
+  let server =
+    match Service.Server.create ~config g with
+    | Ok s -> s
+    | Error msg ->
+      Printf.eprintf "service_bench: %s\n" msg;
+      exit 1
+  in
+  let server_thread = Thread.create Service.Server.serve server in
+  let addr = Service.Proto.Unix_path sock_path in
+  let terms = Graph.terminals g in
+  let nt = Array.length terms in
+
+  (* Warmup: fault in the first epoch's snapshot and touch the socket
+     path once before the clock starts. *)
+  (match Service.Client.with_connect addr (fun c -> Service.Client.ping c) with
+  | Ok _ -> ()
+  | Error msg ->
+    Printf.eprintf "service_bench: warmup: %s\n" msg;
+    exit 1);
+
+  let latencies = Array.make_matrix clients queries_per_client 0.0 in
+  let errors = Atomic.make 0 in
+  let reader tid =
+    match Service.Client.connect addr with
+    | Error _ -> Atomic.incr errors
+    | Ok c ->
+      Fun.protect ~finally:(fun () -> Service.Client.close c) (fun () ->
+          let rng = Rng.create (0xBE7C + tid) in
+          for q = 0 to queries_per_client - 1 do
+            let src = terms.(Rng.int rng nt) in
+            let dst = ref terms.(Rng.int rng nt) in
+            while !dst = src do
+              dst := terms.(Rng.int rng nt)
+            done;
+            let t0 = Unix.gettimeofday () in
+            (match Service.Client.route c ~src ~dst:!dst with
+            | Ok _ -> ()
+            | Error _ -> Atomic.incr errors);
+            latencies.(tid).(q) <- (Unix.gettimeofday () -. t0) *. 1e3
+          done)
+  in
+  let churn_applied = ref 0 in
+  let writer () =
+    match Service.Client.connect addr with
+    | Error _ -> Atomic.incr errors
+    | Ok c ->
+      Fun.protect ~finally:(fun () -> Service.Client.close c) (fun () ->
+          let schedule =
+            Fabric.Schedule.generate g ~rng:(Rng.create 4242) ~events:churn_events ()
+          in
+          List.iter
+            (fun ev ->
+              let rec push retries =
+                match Service.Client.event c ev with
+                | Ok (Service.Client.Applied _) -> incr churn_applied
+                | Ok (Service.Client.Busy _) when retries > 0 ->
+                  Thread.delay 0.001;
+                  push (retries - 1)
+                | Ok (Service.Client.Busy _) | Error _ -> Atomic.incr errors
+              in
+              push 200)
+            schedule)
+  in
+  Printf.eprintf "%d clients x %d queries under %d churn events...\n%!" clients
+    queries_per_client churn_events;
+  let t0 = Unix.gettimeofday () in
+  let threads =
+    Thread.create writer () :: List.init clients (fun tid -> Thread.create reader tid)
+  in
+  List.iter Thread.join threads;
+  let wall_s = Unix.gettimeofday () -. t0 in
+
+  (match Service.Client.with_connect addr (fun c -> Service.Client.shutdown c) with
+  | Ok () -> ()
+  | Error msg -> Printf.eprintf "service_bench: shutdown: %s\n" msg);
+  Thread.join server_thread;
+
+  let total = clients * queries_per_client in
+  let flat = Array.concat (Array.to_list latencies) in
+  Array.sort compare flat;
+  let qps = float_of_int total /. wall_s in
+  let p50 = Obs.Stat.percentile 0.50 flat in
+  let p99 = Obs.Stat.percentile 0.99 flat in
+  let pmax = flat.(Array.length flat - 1) in
+  let final_epoch = Fabric.Manager.epoch (Service.Server.manager server) in
+
+  let prior = read_baseline results_path in
+  let baseline_qps = match prior with Some b -> b | None -> qps in
+  let gate_ok = qps >= gate_fraction *. baseline_qps in
+  let gate_status =
+    match prior with
+    | None -> "baseline recorded"
+    | Some _ when gate_ok -> "pass"
+    | Some _ -> "fail"
+  in
+  let doc =
+    Obs.Json.Obj
+      [
+        ("benchmark", Obs.Json.Str "service_latency");
+        ("topology", Obs.Json.Str "torus-6x6");
+        ("clients", Obs.Json.Num (float_of_int clients));
+        ("queries", Obs.Json.Num (float_of_int total));
+        ("churn_events_applied", Obs.Json.Num (float_of_int !churn_applied));
+        ("final_epoch", Obs.Json.Num (float_of_int final_epoch));
+        ("errors", Obs.Json.Num (float_of_int (Atomic.get errors)));
+        ("wall_s", Obs.Json.Num wall_s);
+        ("qps", Obs.Json.Num qps);
+        ( "latency_ms",
+          Obs.Json.Obj
+            [ ("p50", Obs.Json.Num p50); ("p99", Obs.Json.Num p99); ("max", Obs.Json.Num pmax) ]
+        );
+        ("baseline_qps", Obs.Json.Num baseline_qps);
+        ( "gate",
+          Obs.Json.Obj
+            [
+              ( "target",
+                Obs.Json.Str
+                  (Printf.sprintf "qps >= %.0f%% of carried baseline under churn"
+                     (100.0 *. gate_fraction)) );
+              ("status", Obs.Json.Str gate_status);
+            ] );
+      ]
+  in
+  (try Unix.mkdir "bench_results" 0o755 with Unix.Unix_error _ -> ());
+  Out_channel.with_open_text results_path (fun oc ->
+      output_string oc (Obs.Json.to_string doc);
+      output_char oc '\n');
+  Printf.printf "service_latency: %d queries in %.2f s (%.0f qps), p50 %.3f ms, p99 %.3f ms\n"
+    total wall_s qps p50 p99;
+  Printf.printf "churn: %d/%d events applied, final epoch %d, %d errors\n" !churn_applied
+    churn_events final_epoch (Atomic.get errors);
+  Printf.printf "gate (qps >= %.0f%% of baseline %.0f): %s\n" (100.0 *. gate_fraction)
+    baseline_qps
+    (String.uppercase_ascii gate_status);
+  if Atomic.get errors > 0 then begin
+    Printf.eprintf "service_bench: %d request errors\n" (Atomic.get errors);
+    exit 1
+  end;
+  if not gate_ok then exit 1

@@ -305,6 +305,9 @@ let manage_cmd =
           Format.eprintf "initial routing failed: %s@." msg;
           1
         | Ok mgr ->
+          (* the pool and trace sinks are torn down even when a replay
+             raises — a crashed run must not leak worker domains *)
+          Fun.protect ~finally:(fun () -> Fabric.Manager.shutdown mgr) @@ fun () ->
           Format.printf "%s@.%a@.initial tables: epoch %d (%s, %d max layers)@.@." t.Harness.Topospec.description
             Netgraph.Graph.pp_stats g (Fabric.Manager.epoch mgr) algorithm max_layers;
           if print_schedule then
@@ -327,7 +330,6 @@ let manage_cmd =
             end
           in
           Option.iter (write_stats_json mgr) stats_out;
-          Fabric.Manager.release mgr;
           code))
   in
   let spec = Arg.(required & pos 0 (some string) None & info [] ~docv:"SPEC") in
@@ -426,7 +428,16 @@ let trace_cmd =
         in
         Obs.Control.set_enabled true;
         Obs.Trace.set_sink (Some (Obs.Trace.channel_sink oc));
+        (* sink removal (which flushes), channel close and pool release
+           run on every exit path — an exception mid-replay must not
+           truncate the JSON-lines trace or leak domains *)
         let code =
+          Fun.protect
+            ~finally:(fun () ->
+              Obs.Trace.set_sink None;
+              Obs.Control.set_enabled false;
+              close ())
+          @@ fun () ->
           match
             Fabric.Manager.create
               ~config:{ Fabric.Manager.default_config with algorithm; max_layers }
@@ -436,17 +447,14 @@ let trace_cmd =
             Format.eprintf "initial routing failed: %s@." msg;
             1
           | Ok mgr ->
+            Fun.protect ~finally:(fun () -> Fabric.Manager.shutdown mgr) @@ fun () ->
             let outcomes = Fabric.Manager.run mgr schedule in
             Format.eprintf "replayed %d event(s), epoch %d, %s@." (List.length outcomes)
               (Fabric.Manager.epoch mgr)
               (if Fabric.Manager.converged mgr then "converged" else "NOT CONVERGED");
             Option.iter (write_stats_json mgr) stats_out;
-            Fabric.Manager.release mgr;
             if Fabric.Manager.converged mgr then 0 else 1
         in
-        Obs.Trace.set_sink None;
-        Obs.Control.set_enabled false;
-        close ();
         (if out <> "-" then Format.eprintf "wrote %s@." out);
         code)
   in
@@ -492,10 +500,360 @@ let trace_cmd =
       const run $ spec $ events $ seed $ schedule_file $ removals $ drains $ algorithm $ max_layers
       $ out $ stats_out)
 
+(* Shared by serve and client: where the daemon listens. --tcp wins over
+   --socket when both are given. *)
+let resolve_addr ~socket ~tcp ~host =
+  match tcp with
+  | Some port -> Service.Proto.Tcp (host, port)
+  | None -> Service.Proto.Unix_path socket
+
+let socket_arg =
+  Arg.(
+    value & opt string "fabric.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let tcp_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "tcp" ] ~docv:"PORT" ~doc:"Listen on (or connect to) TCP PORT instead of a Unix socket.")
+
+let host_arg =
+  Arg.(
+    value & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"HOST" ~doc:"TCP host (with --tcp).")
+
+(* serve: the long-running controller daemon — the fabric manager behind
+   a socket, serving route queries, topology events, analyzer reports
+   and observability snapshots to many concurrent clients. *)
+let serve_cmd =
+  let run spec socket tcp host replace queue_depth max_frame trace_capacity algorithm max_layers
+      layer_budget repair_fraction batch domains =
+    let layer_budget = Option.value ~default:max_layers layer_budget in
+    let batch =
+      match batch with
+      | Some b -> b
+      | None -> if domains > 1 then Routing.Sssp.recommended_batch else 1
+    in
+    if max_layers < 1 || layer_budget < 1 || batch < 1 || domains < 1 || queue_depth < 1 then begin
+      prerr_endline "serve: --max-layers, --layer-budget, --batch, --domains and --queue-depth must be at least 1";
+      2
+    end
+    else
+      match load_spec spec with
+      | Error msg ->
+        prerr_endline msg;
+        2
+      | Ok t -> (
+        let addr = resolve_addr ~socket ~tcp ~host in
+        (match addr with
+        | Service.Proto.Unix_path p when replace && Sys.file_exists p -> Unix.unlink p
+        | _ -> ());
+        let config =
+          {
+            Service.Server.default_config with
+            addr;
+            queue_depth;
+            max_frame;
+            trace_capacity;
+            manager =
+              {
+                Fabric.Manager.algorithm;
+                max_layers;
+                layer_budget;
+                repair_fraction;
+                batch;
+                domains;
+              };
+          }
+        in
+        match Service.Server.create ~config t.Harness.Topospec.graph with
+        | Error msg ->
+          prerr_endline msg;
+          1
+        | Ok server ->
+          (* SIGINT/SIGTERM reach the same graceful drain as a shutdown
+             request; SIGPIPE must not kill a daemon writing to a
+             vanished client *)
+          (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+          let on_signal _ = Service.Server.stop server in
+          (try Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal)
+           with Invalid_argument _ -> ());
+          (try Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal)
+           with Invalid_argument _ -> ());
+          Format.printf "%s@.%a@.serving on %s (epoch %d, queue depth %d)@."
+            t.Harness.Topospec.description Netgraph.Graph.pp_stats t.Harness.Topospec.graph
+            (Service.Proto.addr_to_string (Service.Server.addr server))
+            (Fabric.Manager.epoch (Service.Server.manager server))
+            queue_depth;
+          Format.print_flush ();
+          Service.Server.serve server;
+          let m = Service.Server.metrics server in
+          Format.printf "served %d request(s) over %d connection(s): %d route quer(ies), %d event(s) in %d batch(es), %d busy repl(ies)@."
+            (Obs.Counter.value m.Service.Metrics.requests)
+            (Obs.Counter.value m.Service.Metrics.connections)
+            (Obs.Counter.value m.Service.Metrics.route_queries)
+            (Obs.Counter.value m.Service.Metrics.events_applied)
+            (Obs.Counter.value m.Service.Metrics.event_batches)
+            (Obs.Counter.value m.Service.Metrics.busy_replies);
+          0)
+  in
+  let spec = Arg.(required & pos 0 (some string) None & info [] ~docv:"SPEC") in
+  let replace =
+    Arg.(value & flag & info [ "replace" ] ~doc:"Unlink an existing Unix socket path before binding.")
+  in
+  let queue_depth =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-depth" ] ~docv:"N"
+          ~doc:"Admission queue bound for topology events; beyond it clients get busy replies.")
+  in
+  let max_frame =
+    Arg.(
+      value
+      & opt int Service.Proto.default_max_frame
+      & info [ "max-frame" ] ~docv:"BYTES" ~doc:"Refuse request frames larger than BYTES.")
+  in
+  let trace_capacity =
+    Arg.(
+      value & opt int 512
+      & info [ "trace-capacity" ] ~docv:"N"
+          ~doc:"Keep the most recent N trace spans for the trace op (0 disables).")
+  in
+  let algorithm =
+    Arg.(
+      value & opt string "dfsssp"
+      & info [ "algorithm" ] ~docv:"NAME" ~doc:"Routing algorithm for full recomputes.")
+  in
+  let max_layers =
+    Arg.(value & opt int 8 & info [ "max-layers" ] ~docv:"K" ~doc:"Virtual layer budget.")
+  in
+  let layer_budget =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "layer-budget" ] ~docv:"K"
+          ~doc:"Layers the incremental path may use before falling back (default: max-layers).")
+  in
+  let repair_fraction =
+    Arg.(
+      value & opt float 0.5
+      & info [ "repair-fraction" ] ~docv:"F"
+          ~doc:"Max fraction of destinations repaired incrementally.")
+  in
+  let batch =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "batch" ] ~docv:"B" ~doc:"Destinations per weight snapshot in full recomputes.")
+  in
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"D" ~doc:"Routing domains for full recomputes.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "run the fabric controller daemon: topology events, route-table queries, analyzer and \
+          stats served to concurrent clients over a socket")
+    Term.(
+      const run $ spec $ socket_arg $ tcp_arg $ host_arg $ replace $ queue_depth $ max_frame
+      $ trace_capacity $ algorithm $ max_layers $ layer_budget $ repair_fraction $ batch $ domains)
+
+(* client: one-shot requests, schedule replay and raw JSON scripting
+   against a running daemon. *)
+let client_cmd =
+  let pp_json j = print_endline (Obs.Json.to_string j) in
+  let run socket tcp host schedule_file script_file limit op_args =
+    let addr = resolve_addr ~socket ~tcp ~host in
+    let with_client f =
+      match Service.Client.with_connect addr f with
+      | Ok code -> code
+      | Error msg ->
+        prerr_endline msg;
+        2
+    in
+    let replay_schedule path =
+      match Fabric.Schedule.of_string (In_channel.with_open_text path In_channel.input_all) with
+      | Error msg ->
+        prerr_endline (path ^ ": " ^ msg);
+        2
+      | Ok schedule ->
+        with_client @@ fun c ->
+        let failures = ref 0 in
+        List.iteri
+          (fun i ev ->
+            (* scripted mode honors backpressure: a busy reply is retried
+               after a short pause, never dropped silently *)
+            let rec attempt retries =
+              match Service.Client.event c ev with
+              | Error msg ->
+                incr failures;
+                Format.printf "[%2d] %s: ERROR %s@." (i + 1) (Fabric.Event.to_string ev) msg
+              | Ok (Service.Client.Busy { queue_depth }) ->
+                if retries >= 50 then begin
+                  incr failures;
+                  Format.printf "[%2d] %s: still busy after %d retries (queue %d)@." (i + 1)
+                    (Fabric.Event.to_string ev) retries queue_depth
+                end
+                else begin
+                  Unix.sleepf 0.05;
+                  attempt (retries + 1)
+                end
+              | Ok (Service.Client.Applied { epoch; applied; action; note; _ }) ->
+                Format.printf "[%2d] %s: %s%s epoch %d%s@." (i + 1) (Fabric.Event.to_string ev)
+                  action
+                  (if applied then "" else " (rejected)")
+                  epoch
+                  (if note = "" then "" else " — " ^ note)
+            in
+            attempt 0)
+          schedule;
+        Ok (if !failures = 0 then 0 else 1)
+    in
+    let replay_script path =
+      with_client @@ fun c ->
+      let failures = ref 0 in
+      In_channel.with_open_text path (fun ic ->
+          let rec go i =
+            match In_channel.input_line ic with
+            | None -> ()
+            | Some line when String.trim line = "" || (String.trim line).[0] = '#' -> go i
+            | Some line ->
+              (match Service.Client.call_raw c line with
+              | Ok reply -> print_endline reply
+              | Error msg ->
+                incr failures;
+                Format.eprintf "line %d: %s@." i msg);
+              go (i + 1)
+          in
+          go 1);
+      Ok (if !failures = 0 then 0 else 1)
+    in
+    match (schedule_file, script_file, op_args) with
+    | Some path, None, [] -> replay_schedule path
+    | None, Some path, [] -> replay_script path
+    | Some _, Some _, _ ->
+      prerr_endline "client: --schedule and --script are mutually exclusive";
+      2
+    | (Some _, None, _ :: _) | (None, Some _, _ :: _) ->
+      prerr_endline "client: give either an OP or --schedule/--script, not both";
+      2
+    | None, None, [] ->
+      prerr_endline "client: no OP given (try ping, route SRC DST, event EV, stats, trace, analyze, epoch, shutdown)";
+      2
+    | None, None, op :: args -> (
+      with_client @@ fun c ->
+      match (op, args) with
+      | "ping", [] -> (
+        match Service.Client.ping c with
+        | Ok epoch ->
+          Format.printf "ok: epoch %d@." epoch;
+          Ok 0
+        | Error msg -> Error msg)
+      | "route", [ src; dst ] -> (
+        match (int_of_string_opt src, int_of_string_opt dst) with
+        | Some src, Some dst -> (
+          match Service.Client.route c ~src ~dst with
+          | Ok r ->
+            Format.printf "epoch %d, layer %d/%d, %d hop(s): %s@." r.Service.Client.epoch
+              r.Service.Client.layer r.Service.Client.layers
+              (Array.length r.Service.Client.path)
+              (String.concat " "
+                 (Array.to_list (Array.map string_of_int r.Service.Client.path)));
+            Ok 0
+          | Error msg -> Error msg)
+        | _ -> Error "route: SRC and DST must be integers")
+      | "event", ev_words when ev_words <> [] -> (
+        match Fabric.Event.of_string (String.concat " " ev_words) with
+        | Error msg -> Error msg
+        | Ok ev -> (
+          match Service.Client.event c ev with
+          | Ok (Service.Client.Applied { epoch; applied; action; note; _ }) ->
+            Format.printf "%s: %s%s epoch %d%s@." (Fabric.Event.to_string ev) action
+              (if applied then "" else " (rejected)")
+              epoch
+              (if note = "" then "" else " — " ^ note);
+            Ok 0
+          | Ok (Service.Client.Busy { queue_depth }) ->
+            Format.printf "busy: admission queue full (%d pending)@." queue_depth;
+            Ok 3
+          | Error msg -> Error msg))
+      | "stats", [] -> (
+        match Service.Client.stats c with
+        | Ok j ->
+          pp_json j;
+          Ok 0
+        | Error msg -> Error msg)
+      | "trace", [] -> (
+        match Service.Client.trace ?limit c with
+        | Ok spans ->
+          List.iter pp_json spans;
+          Ok 0
+        | Error msg -> Error msg)
+      | "analyze", [] -> (
+        match Service.Client.analyze c with
+        | Ok (certified, report) ->
+          pp_json report;
+          Ok (if certified then 0 else 1)
+        | Error msg -> Error msg)
+      | "epoch", [] -> (
+        match Service.Client.epoch_history c with
+        | Ok entries ->
+          List.iter (fun (e, label) -> Format.printf "epoch %2d: %s@." e label) entries;
+          Ok 0
+        | Error msg -> Error msg)
+      | "shutdown", [] -> (
+        match Service.Client.shutdown c with
+        | Ok () ->
+          Format.printf "server shutting down@.";
+          Ok 0
+        | Error msg -> Error msg)
+      | op, _ -> Error (Printf.sprintf "unknown or malformed op %S" op))
+  in
+  let schedule_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "schedule" ] ~docv:"FILE"
+          ~doc:"Replay this schedule file as event requests over the wire (retrying on busy).")
+  in
+  let script_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "script" ] ~docv:"FILE"
+          ~doc:"Send each non-comment line of FILE as a raw JSON request; print each reply.")
+  in
+  let limit =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "limit" ] ~docv:"N" ~doc:"Max spans for the trace op.")
+  in
+  let op_args = Arg.(value & pos_all string [] & info [] ~docv:"OP") in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "talk to a running fabric controller daemon: one-shot ops (ping, route SRC DST, event EV, \
+          stats, trace, analyze, epoch, shutdown), schedule replay, or raw JSON scripting")
+    Term.(const run $ socket_arg $ tcp_arg $ host_arg $ schedule_file $ script_file $ limit $ op_args)
+
 let () =
   let doc = "fabric generation, inspection and conversion utilities" in
   exit
     (Cmd.eval'
        (Cmd.group
           (Cmd.info "fabric_tool" ~version:"1.0.0" ~doc)
-          [ info_cmd; convert_cmd; degrade_cmd; diff_cmd; analyze_cmd; manage_cmd; trace_cmd ]))
+          [
+            info_cmd;
+            convert_cmd;
+            degrade_cmd;
+            diff_cmd;
+            analyze_cmd;
+            manage_cmd;
+            trace_cmd;
+            serve_cmd;
+            client_cmd;
+          ]))

@@ -4,19 +4,45 @@ type entry = {
   verify_s : float;
 }
 
+type snapshot = {
+  snap_epoch : int;
+  tables : Ftable.t;
+  store : Route_store.t;
+  num_layers : int;
+}
+
 type t = {
   mutable epoch : int;
   mutable active : Ftable.t option;
   mutable entries : entry list; (* newest first *)
+  mutable snap : snapshot option; (* cached export of the current epoch *)
 }
 
-let create () = { epoch = 0; active = None; entries = [] }
+let create () = { epoch = 0; active = None; entries = []; snap = None }
 
 let epoch t = t.epoch
 
 let active t = t.active
 
 let history t = List.rev t.entries
+
+(* Built lazily — paid once per epoch on the first route query, never by
+   code paths that only replay schedules — and cached until the next
+   swap. The returned record is never mutated afterwards, so readers may
+   keep it across swaps and stay internally consistent. *)
+let snapshot t =
+  match t.snap with
+  | Some s when s.snap_epoch = t.epoch -> Ok s
+  | _ -> (
+    match t.active with
+    | None -> Error "no active epoch"
+    | Some tables -> (
+      match Ftable.to_store tables with
+      | Error msg -> Error (Printf.sprintf "epoch %d: %s" t.epoch msg)
+      | Ok store ->
+        let s = { snap_epoch = t.epoch; tables; store; num_layers = Ftable.num_layers tables } in
+        t.snap <- Some s;
+        Ok s))
 
 let try_swap t ~label candidate =
   let span =

@@ -15,6 +15,20 @@ type entry = {
   verify_s : float;
 }
 
+(** A read-only export of one epoch's routing state: the verified tables
+    plus their routes materialized once into a {!Route_store} arena, so
+    route queries resolve as O(1) slices of a flat buffer with no
+    per-query path allocation. Snapshots are immutable — a swap installs
+    a {e new} snapshot and never mutates an exported one, so readers
+    holding a snapshot across a swap keep reading a consistent epoch
+    until they drop it (graceful drain, courtesy of the GC). *)
+type snapshot = {
+  snap_epoch : int;
+  tables : Ftable.t;  (** the tables this epoch serves *)
+  store : Route_store.t;  (** every ordered terminal pair's path, arena form *)
+  num_layers : int;  (** layer count of [tables] at snapshot time *)
+}
+
 type t
 
 (** No active tables, epoch 0. *)
@@ -27,6 +41,13 @@ val active : t -> Ftable.t option
 
 (** Installed epochs, oldest first. *)
 val history : t -> entry list
+
+(** [snapshot t] is the current epoch's read-only export, built on first
+    request after a swap and cached for the epoch's lifetime (the arena
+    walk is paid once, not per query). [Error] when no epoch is active
+    or the active tables cannot be walked — impossible for tables that
+    passed {!try_swap}'s completeness gate. *)
+val snapshot : t -> (snapshot, string) result
 
 (** [try_swap t ~label candidate] certifies and verifies [candidate] and,
     on success, installs it as the next epoch. Always returns the

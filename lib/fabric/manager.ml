@@ -104,6 +104,15 @@ let release t =
     Sssp.destroy_pool pool;
     t.pool <- None
 
+(* The one teardown path for every exit — clean, exception or signal:
+   a killed daemon must neither leak worker domains nor truncate a
+   JSON-lines trace mid-object. Idempotent. *)
+let shutdown t =
+  release t;
+  Obs.Trace.flush ()
+
+let snapshot t = Epoch.snapshot t.epochs
+
 let create ?(config = default_config) g =
   if config.max_layers < 1 then invalid_arg "Manager.create: max_layers < 1";
   if config.layer_budget < 1 then invalid_arg "Manager.create: layer_budget < 1";

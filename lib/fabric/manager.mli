@@ -98,10 +98,21 @@ val run : t -> Schedule.t -> outcome list
     [fabric_tool manage]). *)
 val converged : t -> bool
 
+(** The current epoch's read-only export ({!Epoch.snapshot}): routes as
+    arena slices, built once per epoch and cached. The serving path of
+    the controller daemon ({!Service.Server}). *)
+val snapshot : t -> (Epoch.snapshot, string) result
+
 (** [release t] shuts down the manager's routing-domain pool (a no-op
     when [domains = 1] or already released). The manager remains usable;
     later full recomputes simply run without a persistent pool. *)
 val release : t -> unit
+
+(** [shutdown t] is {!release} plus a flush of any installed trace sink —
+    the teardown every exit path (clean, exception, signal handler) must
+    reach so a dying process neither leaks domains nor truncates traces.
+    Idempotent; the manager remains usable afterwards. *)
+val shutdown : t -> unit
 
 val pp_outcome : Format.formatter -> outcome -> unit
 

@@ -76,7 +76,14 @@ let to_string j =
 
 exception Parse of string
 
-let of_string s =
+(* The parser is recursive descent, so an adversarial document of the
+   shape "[[[[..." costs one stack frame per bracket; now that the codec
+   frames a network protocol (lib/service), the depth is capped well
+   below any stack limit. No legitimate artifact nests past a handful of
+   levels. *)
+let default_max_depth = 512
+
+let of_string ?(max_depth = default_max_depth) s =
   let n = String.length s in
   let pos = ref 0 in
   let fail msg = raise (Parse (Printf.sprintf "%s at offset %d" msg !pos)) in
@@ -169,7 +176,8 @@ let of_string s =
     | Some x -> x
     | None -> fail "malformed number"
   in
-  let rec parse_value () =
+  let rec parse_value depth =
+    if depth > max_depth then fail "nesting too deep";
     skip_ws ();
     match peek () with
     | None -> fail "unexpected end of input"
@@ -188,7 +196,7 @@ let of_string s =
           let k = parse_string () in
           skip_ws ();
           expect ':';
-          let v = parse_value () in
+          let v = parse_value (depth + 1) in
           fields := (k, v) :: !fields;
           skip_ws ();
           match peek () with
@@ -211,7 +219,7 @@ let of_string s =
       else begin
         let items = ref [] in
         let rec elements () =
-          let v = parse_value () in
+          let v = parse_value (depth + 1) in
           items := v :: !items;
           skip_ws ();
           match peek () with
@@ -230,7 +238,7 @@ let of_string s =
     | Some _ -> Num (parse_number ())
   in
   match
-    let v = parse_value () in
+    let v = parse_value 0 in
     skip_ws ();
     if !pos <> n then fail "trailing input";
     v

@@ -20,8 +20,11 @@ val to_buffer : Buffer.t -> t -> unit
     [null]; integral floats print without a fractional part. *)
 val to_string : t -> string
 
-(** Parse a complete JSON document (trailing garbage is an error). *)
-val of_string : string -> (t, string) result
+(** Parse a complete JSON document. Built for hostile input now that the
+    codec frames a network protocol: trailing garbage is an error, and
+    nesting deeper than [max_depth] (default 512) is rejected instead of
+    recursing toward a stack overflow. *)
+val of_string : ?max_depth:int -> string -> (t, string) result
 
 (** [member key j] is the field [key] of object [j], if any. *)
 val member : string -> t -> t option

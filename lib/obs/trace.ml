@@ -82,6 +82,11 @@ let set_sink s =
   | None -> ());
   Atomic.set current s
 
+let flush () =
+  match Atomic.get current with
+  | Some s -> s.flush ()
+  | None -> ()
+
 let enabled () =
   Control.enabled ()
   &&

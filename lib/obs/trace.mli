@@ -44,6 +44,11 @@ val counting_sink : Counter.t -> sink
     sink, if any, is flushed. *)
 val set_sink : sink option -> unit
 
+(** Flush the installed sink, if any — the shutdown/crash path of
+    long-running processes (a killed daemon must not truncate its
+    JSON-lines trace mid-object). *)
+val flush : unit -> unit
+
 (** Tracing is live: {!Control.enabled} and a sink is installed. *)
 val enabled : unit -> bool
 

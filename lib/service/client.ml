@@ -1,0 +1,185 @@
+(* Blocking request/reply client over Proto frames. *)
+
+type t = {
+  fd : Unix.file_descr;
+  max_frame : int;
+  mutable closed : bool;
+}
+
+let connect ?(max_frame = Proto.default_max_frame) addr =
+  let sock_addr, domain =
+    match addr with
+    | Proto.Unix_path path -> (Unix.ADDR_UNIX path, Unix.PF_UNIX)
+    | Proto.Tcp (host, port) ->
+      let inet =
+        if host = "" || host = "*" then Unix.inet_addr_loopback
+        else
+          try Unix.inet_addr_of_string host
+          with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      in
+      (Unix.ADDR_INET (inet, port), Unix.PF_INET)
+  in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  match Unix.connect fd sock_addr with
+  | () -> Ok { fd; max_frame; closed = false }
+  | exception Unix.Unix_error (e, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error
+      (Printf.sprintf "connect %s: %s" (Proto.addr_to_string addr) (Unix.error_message e))
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let with_connect ?max_frame addr f =
+  match connect ?max_frame addr with
+  | Error _ as e -> e
+  | Ok t -> Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
+
+let call_raw t payload =
+  try
+    Proto.write_frame t.fd payload;
+    match Proto.read_frame ~max_frame:t.max_frame t.fd with
+    | Ok (Some reply) -> Ok reply
+    | Ok None -> Error "server closed the connection"
+    | Error e -> Error e
+  with Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+let call t j =
+  match call_raw t (Obs.Json.to_string j) with
+  | Error _ as e -> e
+  | Ok reply -> (
+    match Obs.Json.of_string reply with
+    | Ok r -> Ok r
+    | Error e -> Error ("unparseable reply: " ^ e))
+
+(* ------------------------------------------------------------------ *)
+(* Typed helpers                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let status j = Option.bind (Obs.Json.member "status" j) Obs.Json.to_str
+
+let error_message j =
+  match Option.bind (Obs.Json.member "error" j) Obs.Json.to_str with
+  | Some e -> e
+  | None -> "unspecified server error"
+
+(* Send [req]; hand an [Ok]-status reply to [decode]. *)
+let request t req decode =
+  match call t (Proto.request_to_json req) with
+  | Error _ as e -> e
+  | Ok reply -> (
+    match status reply with
+    | Some "ok" -> decode reply
+    | Some "busy" -> decode reply
+    | Some "error" -> Error (error_message reply)
+    | _ -> Error "reply carries no status")
+
+let int_field j name =
+  match Option.bind (Obs.Json.member name j) Obs.Json.to_int with
+  | Some i -> Ok i
+  | None -> Error (Printf.sprintf "reply is missing %S" name)
+
+type route_reply = {
+  epoch : int;
+  layers : int;
+  layer : int;
+  path : int array;
+}
+
+type event_reply =
+  | Applied of {
+      epoch : int;
+      applied : bool;
+      action : string;
+      note : string;
+      batch_size : int;
+    }
+  | Busy of { queue_depth : int }
+
+let ping t = request t Proto.Ping (fun reply -> int_field reply "epoch")
+
+let route t ~src ~dst =
+  request t
+    (Proto.Route { src; dst })
+    (fun reply ->
+      match (int_field reply "epoch", int_field reply "layers", int_field reply "layer") with
+      | Error e, _, _ | _, Error e, _ | _, _, Error e -> Error e
+      | Ok epoch, Ok layers, Ok layer -> (
+        match Option.bind (Obs.Json.member "path" reply) Obs.Json.to_list with
+        | None -> Error "reply is missing \"path\""
+        | Some hops -> (
+          let path = Array.make (List.length hops) (-1) in
+          let bad = ref false in
+          List.iteri
+            (fun i h ->
+              match Obs.Json.to_int h with
+              | Some c -> path.(i) <- c
+              | None -> bad := true)
+            hops;
+          match !bad with
+          | true -> Error "non-integer channel in \"path\""
+          | false -> Ok { epoch; layers; layer; path })))
+
+let event t ev =
+  match call t (Proto.request_to_json (Proto.Event ev)) with
+  | Error _ as e -> e
+  | Ok reply -> (
+    match status reply with
+    | Some "busy" -> (
+      match int_field reply "queue_depth" with
+      | Ok queue_depth -> Ok (Busy { queue_depth })
+      | Error _ -> Ok (Busy { queue_depth = -1 }))
+    | Some "ok" -> (
+      match (int_field reply "epoch", int_field reply "batch_size") with
+      | Error e, _ | _, Error e -> Error e
+      | Ok epoch, Ok batch_size ->
+        let str name =
+          Option.value ~default:"" (Option.bind (Obs.Json.member name reply) Obs.Json.to_str)
+        in
+        let applied =
+          match Obs.Json.member "applied" reply with
+          | Some (Obs.Json.Bool b) -> b
+          | _ -> false
+        in
+        Ok (Applied { epoch; applied; action = str "action"; note = str "note"; batch_size }))
+    | Some "error" -> Error (error_message reply)
+    | _ -> Error "reply carries no status")
+
+let stats t =
+  request t Proto.Stats (fun reply ->
+      match Obs.Json.member "stats" reply with
+      | Some s -> Ok s
+      | None -> Error "reply is missing \"stats\"")
+
+let trace ?limit t =
+  request t (Proto.Trace limit) (fun reply ->
+      match Option.bind (Obs.Json.member "spans" reply) Obs.Json.to_list with
+      | Some spans -> Ok spans
+      | None -> Error "reply is missing \"spans\"")
+
+let analyze t =
+  request t Proto.Analyze (fun reply ->
+      match (Obs.Json.member "certified" reply, Obs.Json.member "report" reply) with
+      | Some (Obs.Json.Bool certified), Some report -> Ok (certified, report)
+      | _ -> Error "reply is missing \"certified\" or \"report\"")
+
+let epoch_history t =
+  request t Proto.Epoch_info (fun reply ->
+      match Option.bind (Obs.Json.member "history" reply) Obs.Json.to_list with
+      | None -> Error "reply is missing \"history\""
+      | Some entries ->
+        Ok
+          (List.filter_map
+             (fun e ->
+               match
+                 ( Option.bind (Obs.Json.member "epoch" e) Obs.Json.to_int,
+                   Option.bind (Obs.Json.member "label" e) Obs.Json.to_str )
+               with
+               | Some epoch, Some label -> Some (epoch, label)
+               | _ -> None)
+             entries))
+
+let shutdown t = request t Proto.Shutdown (fun _ -> Ok ())

@@ -1,0 +1,148 @@
+(* Wire protocol of the fabric controller: 4-byte big-endian length,
+   then that many bytes of JSON. The framing is deliberately dumb — any
+   language can speak it with two reads — and the payloads reuse
+   Obs.Json, the same codec every observability artifact already uses. *)
+
+type addr =
+  | Unix_path of string
+  | Tcp of string * int
+
+let addr_to_string = function
+  | Unix_path p -> "unix:" ^ p
+  | Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
+
+let version = 1
+
+let default_max_frame = 1 lsl 20
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type request =
+  | Ping
+  | Route of {
+      src : int;
+      dst : int;
+    }
+  | Event of Fabric.Event.t
+  | Stats
+  | Trace of int option
+  | Analyze
+  | Epoch_info
+  | Shutdown
+
+let request_to_json = function
+  | Ping -> Obs.Json.Obj [ ("op", Obs.Json.Str "ping") ]
+  | Route { src; dst } ->
+    Obs.Json.Obj
+      [
+        ("op", Obs.Json.Str "route");
+        ("src", Obs.Json.Num (float_of_int src));
+        ("dst", Obs.Json.Num (float_of_int dst));
+      ]
+  | Event ev ->
+    Obs.Json.Obj [ ("op", Obs.Json.Str "event"); ("event", Obs.Json.Str (Fabric.Event.to_string ev)) ]
+  | Stats -> Obs.Json.Obj [ ("op", Obs.Json.Str "stats") ]
+  | Trace limit ->
+    Obs.Json.Obj
+      (("op", Obs.Json.Str "trace")
+      ::
+      (match limit with
+      | None -> []
+      | Some n -> [ ("limit", Obs.Json.Num (float_of_int n)) ]))
+  | Analyze -> Obs.Json.Obj [ ("op", Obs.Json.Str "analyze") ]
+  | Epoch_info -> Obs.Json.Obj [ ("op", Obs.Json.Str "epoch") ]
+  | Shutdown -> Obs.Json.Obj [ ("op", Obs.Json.Str "shutdown") ]
+
+let int_field j name =
+  match Obs.Json.member name j with
+  | None -> Error (Printf.sprintf "missing %S" name)
+  | Some v -> (
+    match Obs.Json.to_int v with
+    | Some i -> Ok i
+    | None -> Error (Printf.sprintf "%S is not an integer" name))
+
+let request_of_json j =
+  match Obs.Json.member "op" j with
+  | None -> Error "missing \"op\""
+  | Some op -> (
+    match Obs.Json.to_str op with
+    | None -> Error "\"op\" is not a string"
+    | Some "ping" -> Ok Ping
+    | Some "route" -> (
+      match (int_field j "src", int_field j "dst") with
+      | Ok src, Ok dst -> Ok (Route { src; dst })
+      | Error e, _ | _, Error e -> Error e)
+    | Some "event" -> (
+      match Obs.Json.member "event" j with
+      | None -> Error "missing \"event\""
+      | Some ev -> (
+        match Obs.Json.to_str ev with
+        | None -> Error "\"event\" is not a string"
+        | Some s -> (
+          match Fabric.Event.of_string s with
+          | Ok ev -> Ok (Event ev)
+          | Error e -> Error e)))
+    | Some "stats" -> Ok Stats
+    | Some "trace" -> (
+      match Obs.Json.member "limit" j with
+      | None -> Ok (Trace None)
+      | Some v -> (
+        match Obs.Json.to_int v with
+        | Some n when n >= 0 -> Ok (Trace (Some n))
+        | _ -> Error "\"limit\" is not a non-negative integer"))
+    | Some "analyze" -> Ok Analyze
+    | Some "epoch" -> Ok Epoch_info
+    | Some "shutdown" -> Ok Shutdown
+    | Some op -> Error (Printf.sprintf "unknown op %S" op))
+
+let request_id j = Obs.Json.member "id" j
+
+(* ------------------------------------------------------------------ *)
+(* Framing                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let frame payload =
+  let n = String.length payload in
+  let b = Bytes.create (4 + n) in
+  Bytes.set_int32_be b 0 (Int32.of_int n);
+  Bytes.blit_string payload 0 b 4 n;
+  b
+
+let write_all fd b =
+  let len = Bytes.length b in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write fd b !off (len - !off)
+  done
+
+let write_frame fd payload = write_all fd (frame payload)
+
+(* [read_exact fd n] is [Some bytes] or [None] on EOF before the first
+   byte; EOF mid-buffer raises. *)
+let read_exact fd n =
+  let b = Bytes.create n in
+  let off = ref 0 in
+  let eof = ref false in
+  while (not !eof) && !off < n do
+    let k = Unix.read fd b !off (n - !off) in
+    if k = 0 then eof := true else off := !off + k
+  done;
+  if !off = n then Some b else if !off = 0 then None else failwith "truncated frame"
+
+let read_frame ?(max_frame = default_max_frame) fd =
+  try
+    match read_exact fd 4 with
+    | None -> Ok None
+    | Some header ->
+      let len = Int32.to_int (Bytes.get_int32_be header 0) in
+      if len < 0 || len > max_frame then
+        Error (Printf.sprintf "frame of %d bytes exceeds the %d-byte limit" len max_frame)
+      else (
+        match read_exact fd len with
+        | Some payload -> Ok (Some (Bytes.to_string payload))
+        | None -> Error "connection closed mid-frame")
+  with
+  | Failure msg -> Error msg
+  | Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)

@@ -324,6 +324,53 @@ let test_manager_acceptance_4x4x4 () =
   | Error msg -> Alcotest.failf "final tables invalid: %s" msg
 
 (* ------------------------------------------------------------------ *)
+(* Epoch snapshots and shutdown (the controller daemon's serving path)   *)
+(* ------------------------------------------------------------------ *)
+
+let test_snapshot_cached_per_epoch () =
+  let g = torus [| 3; 3 |] in
+  let mgr = Result.get_ok (Fabric.Manager.create g) in
+  let snap1 =
+    match Fabric.Manager.snapshot mgr with
+    | Ok s -> s
+    | Error msg -> Alcotest.failf "snapshot: %s" msg
+  in
+  check Alcotest.int "snapshot epoch" (Fabric.Manager.epoch mgr) snap1.Fabric.Epoch.snap_epoch;
+  (* Same epoch, same export: the arena walk is paid once. *)
+  let snap1' = Result.get_ok (Fabric.Manager.snapshot mgr) in
+  check Alcotest.bool "cached store" true (snap1.Fabric.Epoch.store == snap1'.Fabric.Epoch.store);
+  (* A swap installs a new snapshot; the old one is untouched (graceful
+     drain for readers holding it). *)
+  let paths_before = Deadlock.Route_store.num_paths snap1.Fabric.Epoch.store in
+  check Alcotest.bool "snapshot populated" true (paths_before > 0);
+  let cable = first_switch_cable g in
+  let o = Fabric.Manager.apply mgr (Fabric.Event.Link_down cable) in
+  check Alcotest.bool "event applied" true o.Fabric.Manager.applied;
+  let snap2 = Result.get_ok (Fabric.Manager.snapshot mgr) in
+  check Alcotest.bool "new epoch exported" true
+    (snap2.Fabric.Epoch.snap_epoch > snap1.Fabric.Epoch.snap_epoch);
+  (* the swap installed a new export; the old one was not mutated *)
+  check Alcotest.int "old snapshot still serves every pair" paths_before
+    (Deadlock.Route_store.num_paths snap1.Fabric.Epoch.store);
+  check Alcotest.bool "stores distinct" true
+    (not (snap1.Fabric.Epoch.store == snap2.Fabric.Epoch.store))
+
+let test_shutdown_idempotent_and_usable () =
+  let g = torus [| 4; 4 |] in
+  let config = { Fabric.Manager.default_config with domains = 2 } in
+  let mgr = Result.get_ok (Fabric.Manager.create ~config g) in
+  let cable = first_switch_cable g in
+  let o = Fabric.Manager.apply mgr (Fabric.Event.Link_down cable) in
+  check Alcotest.bool "applied with pool" true o.Fabric.Manager.applied;
+  Fabric.Manager.shutdown mgr;
+  Fabric.Manager.shutdown mgr;
+  (* Shutdown releases the domain pool and flushes sinks but the manager
+     stays usable: later recomputes just run without a persistent pool. *)
+  let o2 = Fabric.Manager.apply mgr (Fabric.Event.Link_up cable) in
+  check Alcotest.bool "applied after shutdown" true o2.Fabric.Manager.applied;
+  Fabric.Manager.shutdown mgr
+
+(* ------------------------------------------------------------------ *)
 (* Schedules                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -379,6 +426,11 @@ let () =
           Alcotest.test_case "bad events rejected" `Quick test_manager_rejects_bad_event;
           Alcotest.test_case "layer budget fallback" `Quick test_manager_fallback_on_layer_budget;
           Alcotest.test_case "acceptance: 4x4x4 torus, mixed schedule" `Quick test_manager_acceptance_4x4x4;
+        ] );
+      ( "epoch-snapshot",
+        [
+          Alcotest.test_case "cached per epoch, immutable" `Quick test_snapshot_cached_per_epoch;
+          Alcotest.test_case "shutdown idempotent, manager usable" `Quick test_shutdown_idempotent_and_usable;
         ] );
       ( "schedule",
         [

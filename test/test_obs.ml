@@ -159,6 +159,67 @@ let json_unicode () =
   | Ok (Obs.Json.Str s) -> check Alcotest.string "decoded" "a\xc3\xa9\n\t\"b\"" s
   | Ok _ -> Alcotest.fail "expected a string"
 
+let json_depth_bomb () =
+  (* A nesting bomb must be rejected by the depth cap, not by blowing the
+     stack: the parser now frames a network protocol (DESIGN.md §14). *)
+  let bomb = String.make 100_000 '[' in
+  (match Obs.Json.of_string bomb with
+  | Ok _ -> Alcotest.fail "bomb parsed"
+  | Error msg -> check Alcotest.bool "mentions nesting" true (String.length msg > 0));
+  (* ... while documents within the default cap still parse. *)
+  let deep n = String.make n '[' ^ "0" ^ String.make n ']' in
+  check Alcotest.bool "depth 400 ok" true (Result.is_ok (Obs.Json.of_string (deep 400)));
+  (* The cap is tunable per call site. *)
+  check Alcotest.bool "shallow cap rejects" true
+    (Result.is_error (Obs.Json.of_string ~max_depth:3 (deep 5)));
+  check Alcotest.bool "shallow cap admits" true
+    (Result.is_ok (Obs.Json.of_string ~max_depth:3 (deep 3)));
+  (* Objects count toward the same budget. *)
+  let deep_obj n =
+    String.concat "" (List.init n (fun _ -> "{\"k\":"))
+    ^ "null"
+    ^ String.make n '}'
+  in
+  check Alcotest.bool "object bomb rejected" true
+    (Result.is_error (Obs.Json.of_string ~max_depth:10 (deep_obj 12)))
+
+(* Wire-hardening property (satellite of the controller service): every
+   tree the encoder can emit losslessly — integral [Num]s, since
+   [%.12g] is the codec's precision contract — survives a round trip
+   through the hostile-input parser. *)
+let json_roundtrip_prop =
+  let gen =
+    let open QCheck2.Gen in
+    let scalar =
+      oneof
+        [
+          return Obs.Json.Null;
+          map (fun b -> Obs.Json.Bool b) bool;
+          map (fun i -> Obs.Json.Num (float_of_int i)) (int_range (-1_000_000_000) 1_000_000_000);
+          map (fun s -> Obs.Json.Str s) (string_size ~gen:printable (int_range 0 16));
+        ]
+    in
+    let key = string_size ~gen:(char_range 'a' 'z') (int_range 0 6) in
+    sized
+    @@ fix (fun self n ->
+           if n <= 0 then scalar
+           else
+             frequency
+               [
+                 (3, scalar);
+                 (1, map (fun l -> Obs.Json.List l) (list_size (int_range 0 4) (self (n / 2))));
+                 ( 1,
+                   map
+                     (fun kvs -> Obs.Json.Obj kvs)
+                     (list_size (int_range 0 4) (pair key (self (n / 2)))) );
+               ])
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:500 ~name:"encode/decode fixpoint" gen (fun doc ->
+         match Obs.Json.of_string (Obs.Json.to_string doc) with
+         | Ok doc' -> doc = doc'
+         | Error _ -> false))
+
 (* ------------------------------------------------------------------ *)
 (* Trace spans                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -330,6 +391,8 @@ let () =
           Alcotest.test_case "special floats" `Quick json_special_floats;
           Alcotest.test_case "errors" `Quick json_errors;
           Alcotest.test_case "unicode escapes" `Quick json_unicode;
+          Alcotest.test_case "depth bomb rejected" `Quick json_depth_bomb;
+          json_roundtrip_prop;
         ] );
       ( "trace",
         [
