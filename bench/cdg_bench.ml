@@ -223,7 +223,7 @@ let build_workload name g ~num_dsts =
   let dsts = Array.init num_dsts (fun j -> terminals.(j * nt / num_dsts)) in
   let ft = Ftable.create g ~algorithm:"bench" in
   let weights = Sssp.initial_weights g in
-  let ws = Dijkstra.workspace g in
+  let ws = Spf.workspace g in
   Array.iter
     (fun dst ->
       match Sssp.route_destination ws g ~weights ~ft ~dst with
@@ -408,6 +408,61 @@ let json_row r =
     (r.verify_ref_ms /. r.verify_csr_ms)
     r.combined_speedup
 
+(* ------------------------------------------------------------------ *)
+(* Heap reuse micro-bench: the SSSP kernels (Routing.Spf) allocate one
+   heap per workspace and [Heap.clear] it before every tree; clear is
+   O(1) (a generation-stamp bump), so reuse must beat recreating the
+   heap even when each tree only ever touches a small fraction of the
+   capacity — exactly the sparse-frontier shape Dijkstra produces.      *)
+(* ------------------------------------------------------------------ *)
+
+let heap_rounds = 10_000
+
+let heap_capacity = 16_384
+
+let heap_live = 48
+
+let heap_churn h rng =
+  for _ = 1 to heap_live do
+    let x = Rng.int rng heap_capacity in
+    if not (Heap.mem h x) then Heap.insert h x (Rng.int rng 1000)
+  done;
+  let drained = ref 0 in
+  let rec drain () =
+    match Heap.pop_min h with
+    | None -> ()
+    | Some _ ->
+      incr drained;
+      drain ()
+  in
+  drain ();
+  !drained
+
+let measure_heap_reuse () =
+  let reuse_ms, a =
+    time_best (fun () ->
+        let h = Heap.create heap_capacity in
+        let rng = Rng.create 42 in
+        let total = ref 0 in
+        for _ = 1 to heap_rounds do
+          total := !total + heap_churn h rng;
+          Heap.clear h
+        done;
+        !total)
+  in
+  let fresh_ms, b =
+    time_best (fun () ->
+        let rng = Rng.create 42 in
+        let total = ref 0 in
+        for _ = 1 to heap_rounds do
+          let h = Heap.create heap_capacity in
+          total := !total + heap_churn h rng
+        done;
+        !total)
+  in
+  assert (a = b);
+  (reuse_ms, fresh_ms)
+
 let () =
   let xgft =
     build_workload "xgft-4096" (Topo_xgft.make ~ms:[| 64; 64 |] ~ws:[| 1; 32 |] ~endpoints:4096)
@@ -439,6 +494,11 @@ let () =
         r.assign_csr_ms r.assign_ref_ms r.layers_csr r.layers_ref r.verify_csr_ms r.verify_ref_ms
         r.combined_speedup)
     rows;
+  let heap_reuse_ms, heap_fresh_ms = measure_heap_reuse () in
+  Printf.printf
+    "heap reuse (%d trees, %d/%d live): clear-and-reuse %.2f ms vs recreate %.2f ms (%.1fx)\n"
+    heap_rounds heap_live heap_capacity heap_reuse_ms heap_fresh_ms
+    (heap_fresh_ms /. heap_reuse_ms);
   let store_bph = alloc_per_hop_store xgft.store in
   let copy_bph = alloc_per_hop_copies xgft.store in
   Printf.printf "hot-loop allocation: %.4f bytes/hop via arena, %.2f bytes/hop via path copies\n"
@@ -455,9 +515,12 @@ let () =
      Printf.fprintf oc
        "{\n  \"benchmark\": \"route_store\",\n  \"topologies\": [\n%s\n  ],\n  \
         \"alloc_bytes_per_hop\": {\"arena\": %.4f, \"path_copies\": %.2f},\n  \
+        \"heap_reuse_ms\": {\"clear_and_reuse\": %.3f, \"recreate\": %.3f, \"speedup\": %.2f},\n  \
         \"targets\": {\"build_plus_break_speedup_min\": 2.0, \"speedup_ok\": %b, \"alloc_ok\": %b}\n}\n"
        (String.concat ",\n" (List.map json_row rows))
-       store_bph copy_bph speedup_ok alloc_ok;
+       store_bph copy_bph heap_reuse_ms heap_fresh_ms
+       (heap_fresh_ms /. heap_reuse_ms)
+       speedup_ok alloc_ok;
      close_out oc
    with Unix.Unix_error _ | Sys_error _ -> prerr_endline "warning: could not write bench_results");
   Printf.printf "speedup target (>= 2x on %s build+break): %s\n" big.wname

@@ -259,11 +259,27 @@ let write_stats_json mgr path =
     Format.printf "wrote %s@." path
   end
 
+(* Shared by manage and serve: the shortest-path kernel behind full
+   recomputes and incremental repairs (DESIGN.md §15). *)
+let kernel_conv =
+  let parse s = Result.map_error (fun e -> `Msg e) (Routing.Spf.kind_of_string s) in
+  Arg.conv (parse, Routing.Spf.pp_kind)
+
+let kernel_arg =
+  Arg.(
+    value
+    & opt kernel_conv Routing.Spf.Auto
+    & info [ "kernel" ] ~docv:"KERNEL"
+        ~doc:
+          "Shortest-path kernel for routing computations: auto, heap (binary-heap oracle), bucket \
+           (Dial bucket queue), or incremental (switch-tree reuse). Kernel choice never changes \
+           the tables.")
+
 (* manage: the live fabric manager — replay a fault schedule and report
    convergence after every event. *)
 let manage_cmd =
   let run spec events seed schedule_file removals drains algorithm max_layers layer_budget
-      repair_fraction batch domains print_schedule stats_out =
+      repair_fraction batch domains kernel print_schedule stats_out =
     let layer_budget = Option.value ~default:max_layers layer_budget in
     (* --batch unset: snapshot in recommended batches when the pipeline
        is on (--domains > 1), stay on the sequential recurrence
@@ -293,7 +309,7 @@ let manage_cmd =
       | Ok t -> (
         let g = t.Harness.Topospec.graph in
         let config =
-          { Fabric.Manager.algorithm; max_layers; layer_budget; repair_fraction; batch; domains }
+          { Fabric.Manager.algorithm; max_layers; layer_budget; repair_fraction; batch; domains; kernel }
         in
       match load_schedule g ~schedule_file ~seed ~events ~removals ~drains with
       | Error msg ->
@@ -402,7 +418,7 @@ let manage_cmd =
        ~doc:"run the live fabric manager over a fault schedule and print a convergence report")
     Term.(
       const run $ spec $ events $ seed $ schedule_file $ removals $ drains $ algorithm $ max_layers
-      $ layer_budget $ repair_fraction $ batch $ domains $ print_schedule $ stats_out)
+      $ layer_budget $ repair_fraction $ batch $ domains $ kernel_arg $ print_schedule $ stats_out)
 
 (* trace: the manage path again, but with observability enabled and a
    JSON-lines span sink — one compact JSON object per span, innermost
@@ -528,7 +544,7 @@ let host_arg =
    and observability snapshots to many concurrent clients. *)
 let serve_cmd =
   let run spec socket tcp host replace queue_depth max_frame trace_capacity algorithm max_layers
-      layer_budget repair_fraction batch domains =
+      layer_budget repair_fraction batch domains kernel =
     let layer_budget = Option.value ~default:max_layers layer_budget in
     let batch =
       match batch with
@@ -564,6 +580,7 @@ let serve_cmd =
                 repair_fraction;
                 batch;
                 domains;
+                kernel;
               };
           }
         in
@@ -659,7 +676,8 @@ let serve_cmd =
           stats served to concurrent clients over a socket")
     Term.(
       const run $ spec $ socket_arg $ tcp_arg $ host_arg $ replace $ queue_depth $ max_frame
-      $ trace_capacity $ algorithm $ max_layers $ layer_budget $ repair_fraction $ batch $ domains)
+      $ trace_capacity $ algorithm $ max_layers $ layer_budget $ repair_fraction $ batch $ domains
+      $ kernel_arg)
 
 (* client: one-shot requests, schedule replay and raw JSON scripting
    against a running daemon. *)

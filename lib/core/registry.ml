@@ -4,8 +4,8 @@ type algorithm = {
   run : Graph.t -> (Ftable.t, string) result;
 }
 
-let dfsssp_run ?variant ~max_layers ?batch ?domains g =
-  match Router.route ?variant ~max_layers ?batch ?domains g with
+let dfsssp_run ?variant ~max_layers ?batch ?domains ?kernel g =
+  match Router.route ?variant ~max_layers ?batch ?domains ?kernel g with
   | Ok ft -> Ok ft
   | Error e -> Error (Router.error_to_string e)
 
@@ -16,19 +16,19 @@ let hardened base ~max_layers g =
   | Error _ as e -> e
   | Ok ft -> Result.map_error Router.error_to_string (Router.assign_layers ~max_layers ft)
 
-let all ?coords ?(max_layers = 8) ?batch ?domains () =
+let all ?coords ?(max_layers = 8) ?batch ?domains ?kernel () =
   [
     {
       name = "minhop";
       deadlock_free_by_design = false;
-      run = Routing.Minhop.route ?batch ?domains;
+      run = Routing.Minhop.route ?batch ?domains ?kernel;
     };
     {
       name = "updown";
       deadlock_free_by_design = true;
-      run = Routing.Updown.route ?batch ?domains;
+      run = Routing.Updown.route ?batch ?domains ?kernel;
     };
-    { name = "ftree"; deadlock_free_by_design = true; run = Routing.Ftree.route ?domains };
+    { name = "ftree"; deadlock_free_by_design = true; run = Routing.Ftree.route ?domains ?kernel };
     {
       name = "dor";
       deadlock_free_by_design = false;
@@ -36,28 +36,28 @@ let all ?coords ?(max_layers = 8) ?batch ?domains () =
         (fun g ->
           match coords with
           | None -> Error "dor: no grid coordinates available for this fabric"
-          | Some c -> Routing.Dor.route ?domains g c);
+          | Some c -> Routing.Dor.route ?domains ?kernel g c);
     };
     {
       name = "lash";
       deadlock_free_by_design = true;
-      run = (fun g -> Routing.Lash.route ~max_layers g);
+      run = (fun g -> Routing.Lash.route ~max_layers ?kernel g);
     };
     {
       name = "sssp";
       deadlock_free_by_design = false;
-      run = Routing.Sssp.route ?batch ?domains;
+      run = Routing.Sssp.route ?batch ?domains ?kernel;
     };
-    { name = "dfsssp"; deadlock_free_by_design = true; run = dfsssp_run ~max_layers ?batch ?domains };
+    { name = "dfsssp"; deadlock_free_by_design = true; run = dfsssp_run ~max_layers ?batch ?domains ?kernel };
     {
       name = "dfsssp-online";
       deadlock_free_by_design = true;
-      run = dfsssp_run ~variant:Router.Online ~max_layers ?batch ?domains;
+      run = dfsssp_run ~variant:Router.Online ~max_layers ?batch ?domains ?kernel;
     };
     {
       name = "dfminhop";
       deadlock_free_by_design = true;
-      run = (fun g -> hardened (Routing.Minhop.route ?batch ?domains) ~max_layers g);
+      run = (fun g -> hardened (Routing.Minhop.route ?batch ?domains ?kernel) ~max_layers g);
     };
     {
       name = "dfdor";
@@ -66,12 +66,12 @@ let all ?coords ?(max_layers = 8) ?batch ?domains () =
         (fun g ->
           match coords with
           | None -> Error "dfdor: no grid coordinates available for this fabric"
-          | Some c -> hardened (fun g -> Routing.Dor.route ?domains g c) ~max_layers g);
+          | Some c -> hardened (fun g -> Routing.Dor.route ?domains ?kernel g c) ~max_layers g);
     };
   ]
 
 let names = List.map (fun a -> a.name) (all ())
 
-let find ?coords ?max_layers ?batch ?domains name =
+let find ?coords ?max_layers ?batch ?domains ?kernel name =
   let target = String.lowercase_ascii name in
-  List.find_opt (fun a -> a.name = target) (all ?coords ?max_layers ?batch ?domains ())
+  List.find_opt (fun a -> a.name = target) (all ?coords ?max_layers ?batch ?domains ?kernel ())

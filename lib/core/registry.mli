@@ -15,12 +15,28 @@ type algorithm = {
     [batch]/[domains] select the batched-snapshot pipeline (DESIGN.md
     section 12) on the engines that support it — [batch] changes the
     tables (defaults to the sequential recurrence), [domains] only the
-    wall-clock; LASH ignores both. *)
-val all : ?coords:Coords.t -> ?max_layers:int -> ?batch:int -> ?domains:int -> unit -> algorithm list
+    wall-clock; LASH ignores both. [kernel] selects the shortest-path
+    core (DESIGN.md §15) on the engines that compute shortest paths
+    (MinHop, LASH, SSSP, DFSSSP and the hardened variants); it never
+    changes any table. *)
+val all :
+  ?coords:Coords.t ->
+  ?max_layers:int ->
+  ?batch:int ->
+  ?domains:int ->
+  ?kernel:Routing.Spf.kind ->
+  unit ->
+  algorithm list
 
 (** [find ?coords name] is case-insensitive; accepts "dfsssp-online" for
     the online variant. *)
 val find :
-  ?coords:Coords.t -> ?max_layers:int -> ?batch:int -> ?domains:int -> string -> algorithm option
+  ?coords:Coords.t ->
+  ?max_layers:int ->
+  ?batch:int ->
+  ?domains:int ->
+  ?kernel:Routing.Spf.kind ->
+  string ->
+  algorithm option
 
 val names : string list

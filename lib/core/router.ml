@@ -47,7 +47,7 @@ let assign_layers ?(variant = Offline) ?(heuristic = Heuristic.Weakest) ?(max_la
       apply_layers ft store layer_of_path layers_used;
       Ok ft)
 
-let route ?variant ?heuristic ?max_layers ?balance ?batch ?domains ?pool g =
+let route ?variant ?heuristic ?max_layers ?balance ?batch ?domains ?pool ?kernel g =
   let span =
     Obs.Trace.begin_span "dfsssp.route" ~attrs:(fun () ->
         [
@@ -58,7 +58,7 @@ let route ?variant ?heuristic ?max_layers ?balance ?batch ?domains ?pool g =
         ])
   in
   let result =
-    match Routing.Sssp.route ?batch ?domains ?pool g with
+    match Routing.Sssp.route ?batch ?domains ?pool ?kernel g with
     | Error msg -> Error (Routing_failed msg)
     | Ok ft -> (
       match assign_layers ?variant ?heuristic ?max_layers ?balance ft with
@@ -80,12 +80,12 @@ let route ?variant ?heuristic ?max_layers ?balance ?batch ?domains ?pool g =
   | Error e -> Obs.Trace.end_span span ~attrs:[ ("error", Obs.Trace.Str (error_to_string e)) ]);
   result
 
-let layers_required ?variant ?heuristic ?max_layers ?batch ?domains g =
-  match route ?variant ?heuristic ?max_layers ?batch ?domains g with
+let layers_required ?variant ?heuristic ?max_layers ?batch ?domains ?kernel g =
+  match route ?variant ?heuristic ?max_layers ?batch ?domains ?kernel g with
   | Error e -> Error e
   | Ok ft -> Ok (Routing.Ftable.num_layers ft)
 
-let route_min_layers ?(max_layers = 8) ?batch ?(domains = 1) g =
+let route_min_layers ?(max_layers = 8) ?batch ?(domains = 1) ?kernel g =
   (* Try every cycle-breaking heuristic and keep the assignment with the
      fewest layers — cheap insurance against the APP heuristic gap the
      paper leaves open (Section IV). With [domains > 1] the heuristics
@@ -96,7 +96,7 @@ let route_min_layers ?(max_layers = 8) ?batch ?(domains = 1) g =
   let heuristics = Array.of_list Heuristic.all in
   let nh = Array.length heuristics in
   let results = Array.make nh (Error (Routing_failed "not attempted")) in
-  let run _scratch i = results.(i) <- route ~heuristic:heuristics.(i) ~max_layers ?batch g in
+  let run _scratch i = results.(i) <- route ~heuristic:heuristics.(i) ~max_layers ?batch ?kernel g in
   if domains > 1 && nh > 1 then
     Parallel.Pool.with_pool ~domains
       (fun _slot -> ())

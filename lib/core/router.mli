@@ -38,6 +38,9 @@ val error_to_string : error -> string
     - [batch]/[domains]/[pool] select {!Routing.Sssp}'s batched-snapshot
       pipeline for the SSSP stage (defaults reproduce the sequential
       recurrence; see DESIGN.md section 12).
+    - [kernel] selects the shortest-path core of the SSSP stage
+      (default {!Routing.Spf.Auto}; DESIGN.md §15). Never changes the
+      tables.
 
     The result carries per-route layers; {!Verify.deadlock_free} holds on
     every successful result. *)
@@ -49,6 +52,7 @@ val route :
   ?batch:int ->
   ?domains:int ->
   ?pool:Routing.Sssp.pool ->
+  ?kernel:Routing.Spf.kind ->
   Graph.t ->
   (Ftable.t, error) result
 
@@ -60,6 +64,7 @@ val layers_required :
   ?max_layers:int ->
   ?batch:int ->
   ?domains:int ->
+  ?kernel:Routing.Spf.kind ->
   Graph.t ->
   (int, error) result
 
@@ -87,4 +92,9 @@ val assign_layers :
     identical to the sequential scan's. [batch] is forwarded to the SSSP
     stage and, unlike [domains], changes the routes themselves. *)
 val route_min_layers :
-  ?max_layers:int -> ?batch:int -> ?domains:int -> Graph.t -> (Ftable.t * Heuristic.t, error) result
+  ?max_layers:int ->
+  ?batch:int ->
+  ?domains:int ->
+  ?kernel:Routing.Spf.kind ->
+  Graph.t ->
+  (Ftable.t * Heuristic.t, error) result

@@ -9,6 +9,7 @@ type config = {
   repair_fraction : float;
   batch : int;
   domains : int;
+  kernel : Spf.kind;
 }
 
 let default_config =
@@ -19,6 +20,7 @@ let default_config =
     repair_fraction = 0.5;
     batch = 1;
     domains = 1;
+    kernel = Spf.Auto;
   }
 
 type action =
@@ -82,7 +84,10 @@ let full_route t =
   @@ fun () ->
   if t.config.algorithm = "dfsssp" then begin
     t.weights <- Sssp.initial_weights g;
-    match Sssp.route_plane ~batch:t.config.batch ?pool:t.pool g ~weights:t.weights with
+    match
+      Sssp.route_plane ~batch:t.config.batch ?pool:t.pool ~kernel:t.config.kernel g
+        ~weights:t.weights
+    with
     | Error msg -> Error msg
     | Ok ft -> (
       match Dfsssp.assign_layers ~max_layers:t.config.max_layers ft with
@@ -92,7 +97,7 @@ let full_route t =
   else
     match
       Dfsssp.Registry.find ~max_layers:t.config.max_layers ~batch:t.config.batch
-        ~domains:t.config.domains t.config.algorithm
+        ~domains:t.config.domains ~kernel:t.config.kernel t.config.algorithm
     with
     | None -> Error (Printf.sprintf "unknown algorithm %S" t.config.algorithm)
     | Some a -> a.Dfsssp.Registry.run g
@@ -232,7 +237,9 @@ let incremental_swap t ~event ~t0 ~old_ft ~affected =
       Obs.Trace.with_span "fabric.repair"
         ~attrs:(fun () ->
           [("destinations", Obs.Trace.Int (List.length affected)); ("total", Obs.Trace.Int total)])
-        (fun () -> Repair.patch ~graph:g ~old:old_ft ~dsts:affected ~weights:t.weights ~layer_budget)
+        (fun () ->
+          Repair.patch ~kernel:t.config.kernel ~graph:g ~old:old_ft ~dsts:affected
+            ~weights:t.weights ~layer_budget ())
     in
     match patched with
     | Error msg ->

@@ -31,10 +31,14 @@ type config = {
           holds a persistent worker pool for its whole lifetime (release
           with {!release}). Never changes the tables, only the
           wall-clock *)
+  kernel : Spf.kind;
+      (** shortest-path kernel for full recomputes and incremental
+          repairs (DESIGN.md §15). Never changes the tables, only the
+          wall-clock *)
 }
 
 (** [{ algorithm = "dfsssp"; max_layers = 8; layer_budget = 8;
-    repair_fraction = 0.5; batch = 1; domains = 1 }] *)
+    repair_fraction = 0.5; batch = 1; domains = 1; kernel = Spf.Auto }] *)
 val default_config : config
 
 type action =

@@ -64,7 +64,7 @@ let creates_cycle cdg fresh stamp stamps =
   in
   probe fresh
 
-let patch ~graph ~old ~dsts ~weights ~layer_budget =
+let patch ?kernel ~graph ~old ~dsts ~weights ~layer_budget () =
   if layer_budget < 1 then invalid_arg "Repair.patch: layer_budget < 1";
   let terminals = Graph.terminals graph in
   let n = Graph.num_nodes graph in
@@ -89,7 +89,7 @@ let patch ~graph ~old ~dsts ~weights ~layer_budget =
       terminals;
     (* Repaired destinations: one SSSP step each, over the surviving
        weight state (later repairs keep avoiding earlier load). *)
-    let ws = Dijkstra.workspace graph in
+    let ws = Spf.workspace ?kernel graph in
     let route_result = ref (Ok ()) in
     List.iter
       (fun dst ->

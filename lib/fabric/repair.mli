@@ -39,12 +39,16 @@ type patched = {
     (mutated in place) and its routes re-placed into the lowest acyclic
     layer. Fails — leaving the caller to fall back to a full recompute —
     if a placement needs more than [layer_budget] layers, or the existing
-    assignment already exceeds the budget.
+    assignment already exceeds the budget. [kernel] selects the
+    shortest-path core of the repair steps (default {!Spf.Auto};
+    DESIGN.md §15) and never changes the resulting table.
     @raise Invalid_argument if [layer_budget < 1]. *)
 val patch :
+  ?kernel:Spf.kind ->
   graph:Graph.t ->
   old:Ftable.t ->
   dsts:int list ->
   weights:int array ->
   layer_budget:int ->
+  unit ->
   (patched, string) result

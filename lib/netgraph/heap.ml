@@ -1,19 +1,30 @@
 type t = {
   mutable size : int;
   elt : int array; (* heap slot -> element *)
-  pos : int array; (* element -> heap slot, or -1 *)
-  prio : int array; (* element -> priority (valid while pos >= 0) *)
+  pos : int array; (* element -> heap slot, or -1 (valid while stamp = gen) *)
+  prio : int array; (* element -> priority (valid while pos >= 0 and stamp = gen) *)
+  stamp : int array; (* element -> generation that last wrote pos.(x) *)
+  mutable gen : int; (* current generation; bumped by clear *)
 }
 
 let create capacity =
   if capacity < 0 then invalid_arg "Heap.create";
-  { size = 0; elt = Array.make (max capacity 1) (-1); pos = Array.make (max capacity 1) (-1); prio = Array.make (max capacity 1) 0 }
+  let cap = max capacity 1 in
+  {
+    size = 0;
+    elt = Array.make cap (-1);
+    pos = Array.make cap (-1);
+    prio = Array.make cap 0;
+    stamp = Array.make cap (-1);
+    gen = 0;
+  }
 
 let size t = t.size
 
 let is_empty t = t.size = 0
 
-let mem t x = x >= 0 && x < Array.length t.pos && t.pos.(x) >= 0
+let mem t x =
+  x >= 0 && x < Array.length t.pos && t.stamp.(x) = t.gen && t.pos.(x) >= 0
 
 let priority t x = if mem t x then t.prio.(x) else raise Not_found
 
@@ -45,11 +56,12 @@ let rec sift_down t i =
 
 let insert t x p =
   if x < 0 || x >= Array.length t.pos then invalid_arg "Heap.insert: out of range";
-  if t.pos.(x) >= 0 then invalid_arg "Heap.insert: already present";
+  if mem t x then invalid_arg "Heap.insert: already present";
   let i = t.size in
   t.size <- t.size + 1;
   t.elt.(i) <- x;
   t.pos.(x) <- i;
+  t.stamp.(x) <- t.gen;
   t.prio.(x) <- p;
   sift_up t i
 
@@ -79,7 +91,5 @@ let pop_min t =
   end
 
 let clear t =
-  for i = 0 to t.size - 1 do
-    t.pos.(t.elt.(i)) <- -1
-  done;
+  t.gen <- t.gen + 1;
   t.size <- 0

@@ -1,6 +1,21 @@
 (** Indexed binary min-heap over integer elements [0 .. capacity-1] with
     integer priorities and decrease-key, as required by Dijkstra's
-    algorithm over dense node-id spaces. *)
+    algorithm over dense node-id spaces.
+
+    {b Reuse across runs.} A single heap is meant to be allocated once per
+    workspace and reused for every shortest-path tree: [clear] is O(1) (it
+    bumps an internal generation counter instead of walking the occupied
+    slots), so per-destination reuse costs nothing beyond the live
+    elements actually pushed.
+
+    {b decrease_key-free operation.} Callers that cannot (or prefer not
+    to) track membership may skip [decrease] entirely and reinsert a
+    fresh (element, priority) pair on every improvement, skipping stale
+    pops whose priority no longer matches the caller's distance array.
+    This heap supports both styles; the bucket-queue kernel in
+    [Routing.Spf] uses the reinsertion discipline exclusively, while the
+    binary-heap oracle uses [insert_or_decrease] to keep each element
+    resident at most once. *)
 
 type t
 
@@ -37,5 +52,7 @@ val insert_or_decrease : t -> int -> int -> unit
     (ties broken arbitrarily but deterministically). *)
 val pop_min : t -> (int * int) option
 
-(** Remove all elements. O(size). *)
+(** Remove all elements in O(1): the current generation is invalidated
+    wholesale rather than walking the occupied slots, so clearing a heap
+    between destinations is free regardless of how full it was. *)
 val clear : t -> unit

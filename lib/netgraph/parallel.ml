@@ -78,6 +78,10 @@ module Pool = struct
 
   let iter_scratch pool f = Array.iter f pool.scratch
 
+  let slot_scratch pool slot =
+    if slot < 0 || slot >= pool.size then invalid_arg "Pool.slot_scratch";
+    pool.scratch.(slot)
+
   let run pool ~n ?grain f =
     if n > 0 then begin
       if pool.size = 1 || n = 1 then

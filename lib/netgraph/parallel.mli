@@ -70,6 +70,13 @@ module Pool : sig
       per-domain accumulators into shared state deterministically. *)
   val iter_scratch : 's t -> ('s -> unit) -> unit
 
+  (** [slot_scratch pool slot] is the scratch value of slot [slot]
+      (0 being the calling domain's slot). Useful for running a batch
+      inline on the caller without paying pool dispatch — the inline
+      path of {!Routing.Batched.run} uses slot 0.
+      @raise Invalid_argument if [slot] is out of range. *)
+  val slot_scratch : 's t -> int -> 's
+
   (** Terminate and join the worker domains. Idempotent; the pool must
       not be used afterwards. *)
   val shutdown : 's t -> unit

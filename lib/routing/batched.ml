@@ -12,9 +12,43 @@
 let c_snapshots =
   Obs.Registry.counter "batched.snapshots" ~desc:"balancing-state snapshots frozen by the batched driver"
 
-let run ~pool ~batch ~dsts ~freeze ~dest ~merge =
+let c_inline =
+  Obs.Registry.counter "batched.inline_runs" ~desc:"batched runs executed inline (pool dispatch skipped)"
+
+(* Pool-aware sizing (DESIGN.md §15). Fanning a batch out over worker
+   domains only pays when (a) the hardware actually has spare domains,
+   (b) the batch holds more than one destination, and (c) the batch
+   carries enough work to amortise the dispatch handshake. When any of
+   those fail the driver runs the batch inline on the caller's slot-0
+   scratch — same snapshots, same merges, bit-for-bit identical tables,
+   no pool round-trip. Tests that need to exercise the fan-out path on
+   small boxes can force it with [set_auto_sizing false]. *)
+let auto = Atomic.make true
+
+let set_auto_sizing b = Atomic.set auto b
+
+let auto_sizing () = Atomic.get auto
+
+(* Below this many unit-cost items per batch (items x cost, where cost
+   is the caller's per-item work proxy — channel count for the routing
+   engines), the dispatch handshake dominates the work being dispatched. *)
+let inline_threshold = 16384
+
+let effective_workers ~cost ~pool ~batch ~items =
+  let size = Parallel.Pool.size pool in
+  if not (Atomic.get auto) then size
+  else begin
+    let per_batch = min (max 1 batch) (max 1 items) in
+    let w = min size (min (Parallel.recommended_domains ()) per_batch) in
+    if w > 1 && per_batch * max 1 cost < inline_threshold then 1 else w
+  end
+
+let run ~cost ~pool ~batch ~dsts ~freeze ~dest ~merge =
   let nt = Array.length dsts in
   let batch = max 1 batch in
+  let workers = effective_workers ~cost ~pool ~batch ~items:nt in
+  if workers <= 1 then Obs.Counter.incr c_inline;
+  let s0 = Parallel.Pool.slot_scratch pool 0 in
   let error = ref None in
   let lo = ref 0 in
   while !error = None && !lo < nt do
@@ -28,14 +62,28 @@ let run ~pool ~batch ~dsts ~freeze ~dest ~merge =
     Obs.Trace.with_span "batched.batch"
       ~attrs:(fun () -> [ ("base", Obs.Trace.Int base); ("size", Obs.Trace.Int (hi - base)) ])
       (fun () ->
-        Parallel.Pool.run pool ~n:(hi - base) ~grain:1 (fun s k ->
-            match dest s dsts.(base + k) with
+        if workers <= 1 then begin
+          (* Inline: the whole batch runs on the caller against slot-0
+             scratch. Snapshot semantics are untouched (freeze already
+             ran; contributions still land in the scratch and merge at
+             batch end), so results match the fan-out path exactly. *)
+          for k = 0 to hi - base - 1 do
+            match dest s0 dsts.(base + k) with
             | Ok () -> ()
-            | Error msg -> errs.(k) <- Some msg);
-        (* Merge per-domain contributions in slot order. The merged state is
-           a sum of per-destination contributions, so any merge order yields
-           identical weights; slot order just makes the walk deterministic. *)
-        Parallel.Pool.iter_scratch pool merge);
+            | Error msg -> errs.(k) <- Some msg
+          done;
+          merge s0
+        end
+        else begin
+          Parallel.Pool.run pool ~n:(hi - base) ~grain:1 (fun s k ->
+              match dest s dsts.(base + k) with
+              | Ok () -> ()
+              | Error msg -> errs.(k) <- Some msg);
+          (* Merge per-domain contributions in slot order. The merged state is
+             a sum of per-destination contributions, so any merge order yields
+             identical weights; slot order just makes the walk deterministic. *)
+          Parallel.Pool.iter_scratch pool merge
+        end);
     Array.iter (fun e -> if !error = None && e <> None then error := e) errs;
     lo := hi
   done;

@@ -15,13 +15,41 @@
     addition, and forwarding entries live in per-destination table
     columns. *)
 
-(** [run ~pool ~batch ~dsts ~freeze ~dest ~merge] routes every
+(** [effective_workers ?cost ~pool ~batch ~items ()] is the number of
+    workers a batched run over [items] destinations will actually use:
+    the pool size clamped by the hardware domain count and the per-batch
+    item count, and forced to 1 when the per-batch work
+    ([items_per_batch x cost], with [cost] the caller's per-item work
+    proxy — typically the channel count) is too small to amortise the
+    pool dispatch handshake. A result [<= 1] means {!run} executes
+    inline on the caller; engines use the same predicate to skip
+    snapshot copies entirely. Always the pool size when auto sizing is
+    off. *)
+val effective_workers :
+  cost:int -> pool:'s Parallel.Pool.t -> batch:int -> items:int -> int
+
+(** [set_auto_sizing false] disables pool-aware sizing process-wide:
+    every batched run fans out over the full pool regardless of
+    hardware, batch width, or work size. Results are identical either
+    way; the switch exists so determinism tests exercise the real
+    fan-out path even on single-domain machines. Default: enabled. *)
+val set_auto_sizing : bool -> unit
+
+val auto_sizing : unit -> bool
+
+(** [run ~cost ~pool ~batch ~dsts ~freeze ~dest ~merge] routes every
     destination in [dsts], in batches of [batch] (clamped to [>= 1]).
     [dest scratch dst] routes one destination using the worker's own
     scratch; its [Error] stops the loop after the current batch, and the
     error returned is the one of the lowest destination index, as a
-    sequential scan would find it. Exceptions from [dest] propagate. *)
+    sequential scan would find it. Exceptions from [dest] propagate.
+
+    When {!effective_workers} (given the same [cost]) is [<= 1] the
+    whole run executes on the calling domain against the pool's slot-0
+    scratch — identical snapshots, merges, and results, minus the
+    dispatch overhead. *)
 val run :
+  cost:int ->
   pool:'s Parallel.Pool.t ->
   batch:int ->
   dsts:int array ->

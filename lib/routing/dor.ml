@@ -65,7 +65,9 @@ let route_destination g coords ~dims ~wrap ~ndims ~ft ~dst =
   | Some msg -> Error msg
   | None -> Ok ()
 
-let route ?(domains = 1) g coords =
+(* [kernel] is accepted for registry/CLI uniformity but unused:
+   dimension-ordered routing is coordinate arithmetic. *)
+let route ?(domains = 1) ?kernel:(_ : Spf.kind option) g coords =
   let ft = Ftable.create g ~algorithm:"dor" in
   let dims = Coords.dims coords and wrap = Coords.wrap coords in
   let ndims = Array.length dims in
@@ -95,7 +97,7 @@ let route ?(domains = 1) g coords =
         Parallel.Pool.with_pool ~domains
           (fun _slot -> ())
           (fun pool ->
-            Batched.run ~pool ~batch:nt ~dsts
+            Batched.run ~cost:(Graph.num_channels g) ~pool ~batch:nt ~dsts
               ~freeze:(fun () -> ())
               ~dest:(fun () dst -> route_destination g coords ~dims ~wrap ~ndims ~ft ~dst)
               ~merge:(fun () -> ()))

@@ -84,7 +84,9 @@ let route_destination g ~level ~up_channels ~order_by_level ~anc_channel ~ft ~ds
   | Some msg -> Error msg
   | None -> Ok ()
 
-let route ?(domains = 1) g =
+(* [kernel] is accepted for registry/CLI uniformity but unused: fat-tree
+   routing follows ancestor levels, not a shortest-path kernel. *)
+let route ?(domains = 1) ?kernel:(_ : Spf.kind option) g =
   match levels g with
   | Error msg -> Error msg
   | Ok level ->
@@ -141,7 +143,7 @@ let route ?(domains = 1) g =
           Parallel.Pool.with_pool ~domains
             (fun _slot -> Array.make n (-1))
             (fun pool ->
-              Batched.run ~pool ~batch:(Array.length dsts) ~dsts
+              Batched.run ~cost:(Graph.num_channels g) ~pool ~batch:(Array.length dsts) ~dsts
                 ~freeze:(fun () -> ())
                 ~dest:(fun anc_channel dst ->
                   route_destination g ~level ~up_channels ~order_by_level ~anc_channel ~ft ~dst)

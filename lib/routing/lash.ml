@@ -8,18 +8,21 @@
    sparse irregular fabrics, Fig. 9). *)
 let tie_break c dst = ((c * 0x9E3779B1) lxor (dst * 0x85EBCA77)) land max_int
 
-let plain_minhop g =
+let plain_minhop ?(kernel = Spf.Auto) g =
   let n = Graph.num_nodes g in
   let ft = Ftable.create g ~algorithm:"lash" in
-  let ws = Dijkstra.workspace g in
+  let ws = Spf.workspace ~kernel g in
+  (* Unit weights never change, so one stamp serves every destination
+     and the incremental kernel reuses each switch's tree. *)
+  let stamp = Spf.fresh_stamp () in
   let result = ref (Ok ()) in
   Array.iter
     (fun dst ->
       match !result with
       | Error _ -> ()
       | Ok () ->
-        let dist, _ = Dijkstra.hops_toward ws g ~dst in
-        if Array.exists (fun d -> d = max_int) dist then
+        let { Spf.dist; reached; _ } = Spf.compute_hops ws g ~stamp ~dst in
+        if reached < n then
           result := Error (Printf.sprintf "node unreachable toward %d" dst)
         else
           for u = 0 to n - 1 do
@@ -39,8 +42,8 @@ let plain_minhop g =
   | Error msg -> Error msg
   | Ok () -> Ok ft
 
-let route ?(max_layers = 16) g =
-  match plain_minhop g with
+let route ?(max_layers = 16) ?kernel g =
+  match plain_minhop ?kernel g with
   | Error msg -> Error ("lash: " ^ msg)
   | Ok ft -> (
     match Ftable.to_store ft with

@@ -14,9 +14,9 @@
    function of (snapshot, destination) alone, independent of which
    domain routes which destination. *)
 
-let route_destination g ws ~n ~get_load ~bump ~ft ~dst =
-  let dist, _ = Dijkstra.hops_toward ws g ~dst in
-  if Array.exists (fun d -> d = max_int) dist then
+let route_destination g ws ~stamp ~n ~get_load ~bump ~ft ~dst =
+  let { Spf.dist; reached; _ } = Spf.compute_hops ws g ~stamp ~dst in
+  if reached < n then
     Error (Printf.sprintf "minhop: node unreachable toward %d" dst)
   else begin
     let error = ref None in
@@ -44,7 +44,7 @@ let route_destination g ws ~n ~get_load ~bump ~ft ~dst =
   end
 
 type scratch = {
-  ws : Dijkstra.workspace;
+  ws : Spf.workspace;
   local : int array; (* this destination's own increments *)
   local_touched : int array;
   mutable num_local : int;
@@ -53,21 +53,25 @@ type scratch = {
   mutable num_delta : int;
 }
 
-let route ?(batch = 1) ?(domains = 1) g =
+let route ?(batch = 1) ?(domains = 1) ?(kernel = Spf.Auto) g =
   let n = Graph.num_nodes g in
   let m = Graph.num_channels g in
   let ft = Ftable.create g ~algorithm:"minhop" in
   let load = Array.make m 0 in
   let dsts = Graph.terminals g in
+  (* Hop distances do not depend on the load state, so one stamp covers
+     the whole run: the incremental kernel reuses a switch tree across
+     every destination on that switch. *)
+  let stamp = Spf.fresh_stamp () in
   let result =
     if batch <= 1 && domains <= 1 then begin
-      let ws = Dijkstra.workspace g in
+      let ws = Spf.workspace ~kernel g in
       let nt = Array.length dsts in
       let rec go i =
         if i >= nt then Ok ()
         else
           match
-            route_destination g ws ~n
+            route_destination g ws ~stamp ~n
               ~get_load:(fun c -> load.(c))
               ~bump:(fun c -> load.(c) <- load.(c) + 1)
               ~ft ~dst:dsts.(i)
@@ -82,7 +86,7 @@ let route ?(batch = 1) ?(domains = 1) g =
       Parallel.Pool.with_pool ~domains
         (fun _slot ->
           {
-            ws = Dijkstra.workspace g;
+            ws = Spf.workspace ~kernel g;
             local = Array.make m 0;
             local_touched = Array.make m 0;
             num_local = 0;
@@ -91,11 +95,11 @@ let route ?(batch = 1) ?(domains = 1) g =
             num_delta = 0;
           })
         (fun pool ->
-          Batched.run ~pool ~batch ~dsts
+          Batched.run ~cost:m ~pool ~batch ~dsts
             ~freeze:(fun () -> Array.blit load 0 snapshot 0 m)
             ~dest:(fun sc dst ->
               let r =
-                route_destination g sc.ws ~n
+                route_destination g sc.ws ~stamp ~n
                   ~get_load:(fun c -> snapshot.(c) + sc.local.(c))
                   ~bump:(fun c ->
                     if sc.local.(c) = 0 then begin

@@ -151,7 +151,9 @@ let route_destination g ~up ~order ~get_load ~bump sc ~ft ~dst =
   | Some msg -> Error msg
   | None -> Ok ()
 
-let route ?(batch = 1) ?(domains = 1) g =
+(* [kernel] is accepted for registry/CLI uniformity but unused: the
+   up/down-restricted BFS is not a shortest-path-kernel computation. *)
+let route ?(batch = 1) ?(domains = 1) ?kernel:(_ : Spf.kind option) g =
   match pick_root g with
   | Error msg -> Error msg
   | Ok root ->
@@ -185,7 +187,7 @@ let route ?(batch = 1) ?(domains = 1) g =
       else begin
         let snapshot = Array.make m 0 in
         Parallel.Pool.with_pool ~domains (fresh_scratch n m) (fun pool ->
-            Batched.run ~pool ~batch ~dsts
+            Batched.run ~cost:(Graph.num_channels g) ~pool ~batch ~dsts
               ~freeze:(fun () -> Array.blit load 0 snapshot 0 m)
               ~dest:(fun sc dst ->
                 route_destination g ~up ~order

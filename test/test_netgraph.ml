@@ -142,6 +142,23 @@ let test_heap_clear () =
   Heap.insert h 0 3;
   check Alcotest.(option (pair int int)) "reusable" (Some (0, 3)) (Heap.pop_min h)
 
+let test_heap_generation_clear () =
+  (* clear is O(1): it bumps a generation stamp instead of walking the
+     occupied slots. Membership from an old generation must not leak
+     into the new one — even for elements that were never popped. *)
+  let h = Heap.create 8 in
+  for round = 1 to 100 do
+    Heap.insert h 0 round;
+    Heap.insert h 5 (round + 1);
+    Alcotest.(check bool) "mem in-generation" true (Heap.mem h 5);
+    Heap.clear h;
+    Alcotest.(check bool) "stale mem invalidated" false (Heap.mem h 5);
+    Alcotest.(check bool) "empty after clear" true (Heap.is_empty h)
+  done;
+  Heap.insert h 5 7;
+  check Alcotest.int "fresh generation priority" 7 (Heap.priority h 5);
+  check Alcotest.(option (pair int int)) "fresh pop" (Some (5, 7)) (Heap.pop_min h)
+
 let heap_sort_qcheck =
   qtest "heap: pops ascending" QCheck2.Gen.(array_size (int_range 0 64) (int_range 0 1000))
     (fun prios ->
@@ -787,6 +804,7 @@ let () =
           Alcotest.test_case "insert_or_decrease" `Quick test_heap_insert_or_decrease;
           Alcotest.test_case "duplicate insert" `Quick test_heap_duplicate_insert;
           Alcotest.test_case "clear" `Quick test_heap_clear;
+          Alcotest.test_case "generation clear" `Quick test_heap_generation_clear;
           heap_sort_qcheck;
           heap_decrease_qcheck;
         ] );

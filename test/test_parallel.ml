@@ -15,6 +15,13 @@
    `make check` runs this binary as the 2-domain smoke test of the
    pipeline. *)
 
+(* This suite exists to exercise the real multi-domain fan-out path.
+   Pool-aware sizing (DESIGN.md §15) would collapse every run to the
+   inline path on a single-domain CI box — disable it so the pool
+   dispatch, per-slot scratch, and merge machinery stay under test.
+   Results are contractually identical either way. *)
+let () = Routing.Batched.set_auto_sizing false
+
 let qtest ?(count = 8) name gen prop = Testutil.qtest ~count name gen prop
 
 let seed_gen = Testutil.seed_gen
