@@ -1,4 +1,4 @@
-.PHONY: all check test lint doc clean bench-cdg bench-routing kernel-equivalence bench-service smoke-service coverage
+.PHONY: all check test lint doc clean bench-cdg bench-routing bench-analysis analyze-examples kernel-equivalence bench-service smoke-service coverage
 
 all:
 	dune build
@@ -10,7 +10,7 @@ all:
 # on the example topologies, and the SSSP kernels agree bit-for-bit on
 # the quick equivalence fixtures.
 check:
-	dune build && dune build --profile release && dune runtest && $(MAKE) lint && $(MAKE) kernel-equivalence && $(MAKE) smoke-service
+	dune build && dune build --profile release && dune runtest && $(MAKE) lint && $(MAKE) analyze-examples && $(MAKE) kernel-equivalence && $(MAKE) smoke-service
 
 test: check
 
@@ -20,11 +20,27 @@ test: check
 lint:
 	dune exec bin/fabric_tool.exe -- analyze --minimal ring:8 torus:4x4 tree:4,2 dragonfly:4,2,2
 
+# The full static-analysis sweep (doc/static_analysis.md): route and
+# analyze one example of every topology family the spec grammar knows,
+# with the existence check and the layer lower bound enabled. Exit 0
+# iff every fabric is feasible and every table certifies with zero
+# analyzer errors.
+analyze-examples:
+	dune exec bin/fabric_tool.exe -- analyze --existence --min-layers \
+	  ring:8 torus:4x4 hypercube:4 tree:4,2 xgft:2,4/1,2:16 kautz:2,3 \
+	  dragonfly:4,2,2 hyperx:3x3 random:8,10,16,14:7
+
 # Route-store / CSR CDG microbenchmark (DESIGN.md §10). Writes
 # bench_results/route_store.json; fails if the >= 2x build+cycle-breaking
 # speedup or the zero-allocation hot-loop target is missed.
 bench-cdg:
 	dune exec --profile release bench/cdg_bench.exe
+
+# Static-analyzer cost benchmark (doc/static_analysis.md). Writes
+# bench_results/analysis.json; fails if Existence.analyze exceeds 10%
+# of the dfsssp route-build time on a 4096-endpoint XGFT.
+bench-analysis:
+	dune exec --profile release bench/analysis_bench.exe
 
 # Domain-parallel routing pipeline benchmark (DESIGN.md §12, §15).
 # Writes bench_results/routing_parallel.json with sequential vs parallel

@@ -140,7 +140,41 @@ let diff_cmd =
 (* analyze: the routing certifier — route (or load) forwarding tables,
    lint them, and validate a deadlock-freedom certificate. *)
 let analyze_cmd =
-  let run specs tables algorithm max_layers json minimal slack cert_out =
+  let explain_rule rule_id =
+    match Analysis.Diag.find_rule rule_id with
+    | None ->
+      Format.eprintf "unknown rule %s; catalog: %s@." rule_id
+        (String.concat ", " (List.map (fun r -> r.Analysis.Diag.id) Analysis.Diag.catalog));
+      2
+    | Some r ->
+      Format.printf "%s (%s)@.%s@.@.%s@." r.Analysis.Diag.id
+        (Analysis.Diag.severity_to_string r.Analysis.Diag.severity)
+        r.Analysis.Diag.title (Analysis.Diag.explain r);
+      0
+  in
+  let existence_json target ex =
+    let open Analysis.Existence in
+    let cores =
+      String.concat ","
+        (List.map
+           (fun c ->
+             Printf.sprintf {|{"length":%d,"hosts":%d,"bound":%d}|} (Array.length c.cycle)
+               (Array.length c.hosts) c.bound)
+           ex.cores)
+    in
+    Printf.sprintf
+      {|{"target":"%s","existence":true,"min_layers_lb":%d,"unreachable":%s,"cores":[%s]}|}
+      (Analysis.Diag.json_escape target) ex.min_layers_lb
+      (match ex.unreachable with
+      | Some (s, d) -> Printf.sprintf {|{"src":%d,"dst":%d}|} s d
+      | None -> "null")
+      cores
+  in
+  let run specs tables algorithm max_layers json minimal slack cert_out existence min_layers
+      witness_out explain =
+    match explain with
+    | Some rule_id -> explain_rule rule_id
+    | None ->
     let hop_budget =
       if minimal then Some `Minimal
       else Option.map (fun n -> `Slack n) slack
@@ -149,6 +183,66 @@ let analyze_cmd =
       let report = Analysis.Analyzer.analyze ?hop_budget ft in
       if json then print_endline (Analysis.Analyzer.to_json ~target report)
       else Format.printf "== %s ==@.%a@.@." target Analysis.Analyzer.pp report;
+      let g = Routing.Ftable.graph ft in
+      let ex =
+        if existence || min_layers || witness_out <> None then Some (Analysis.Existence.analyze g)
+        else None
+      in
+      Option.iter
+        (fun ex ->
+          let open Analysis.Existence in
+          (* under --json the report and existence objects already carry
+             min_layers_lb; keep stdout pure JSON *)
+          if min_layers && not json then
+            Format.printf "%s: min layers >= %d, achieved %d (slack %d)@." target ex.min_layers_lb
+              (Routing.Ftable.num_layers ft)
+              (Routing.Ftable.num_layers ft - ex.min_layers_lb);
+          if existence then
+            if json then print_endline (existence_json target ex)
+            else begin
+              (match ex.unreachable with
+              | Some (s, d) ->
+                Format.printf "%s: INFEASIBLE: terminal %d cannot reach terminal %d@." target s d
+              | None -> Format.printf "%s: feasible, min layers >= %d@." target ex.min_layers_lb);
+              List.iter
+                (fun c ->
+                  Format.printf "  core: %d channels, %d hosts, forces >= %d layer(s)@."
+                    (Array.length c.cycle) (Array.length c.hosts) c.bound)
+                ex.cores
+            end)
+        ex;
+      Option.iter
+        (fun path ->
+          let w =
+            match ex with
+            | Some ({ min_layers_lb; cores = core :: _; _ } : Analysis.Existence.t)
+              when min_layers_lb > Routing.Ftable.num_layers ft ->
+              Analysis.Witness.of_core g core
+            | _ -> (
+              match report.Analysis.Analyzer.verdict with
+              | Analysis.Analyzer.Certified _ ->
+                Error "table is certified and its layer budget feasible; nothing to witness"
+              | Analysis.Analyzer.Rejected _ -> (
+                match Analysis.Witness.of_table ft with
+                | Ok (Some w) -> Ok w
+                | Ok None -> Error "rejection is not a layer cycle; no cycle witness exists"
+                | Error msg -> Error msg))
+          in
+          match w with
+          | Error msg -> Format.eprintf "%s: no witness written: %s@." target msg
+          | Ok w -> (
+            let recheck =
+              match w.Analysis.Witness.kind with
+              | Analysis.Witness.Layer_cycle _ -> Analysis.Witness.check_table w ft
+              | Analysis.Witness.Topology_core _ -> Analysis.Witness.check_graph w g
+            in
+            match recheck with
+            | Error msg -> Format.eprintf "%s: generated witness failed its re-check: %s@." target msg
+            | Ok () ->
+              Out_channel.with_open_text path (fun oc ->
+                  Out_channel.output_string oc (Analysis.Witness.to_string w));
+              if not json then Format.printf "wrote %s (trusted re-check passed)@." path))
+        witness_out;
       Option.iter
         (fun path ->
           match report.Analysis.Analyzer.verdict with
@@ -223,10 +317,42 @@ let analyze_cmd =
       & opt (some string) None
       & info [ "cert" ] ~docv:"FILE" ~doc:"Write the (last certified target's) certificate to FILE.")
   in
+  let existence =
+    Arg.(
+      value & flag
+      & info [ "existence" ]
+          ~doc:
+            "Print the topology-level existence analysis per target: feasibility, provable layer \
+             minimum, and the clean cores forcing it.")
+  in
+  let min_layers =
+    Arg.(
+      value & flag
+      & info [ "min-layers" ]
+          ~doc:"Print the provable layer lower bound against the achieved layer count per target.")
+  in
+  let witness_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "witness" ] ~docv:"FILE"
+          ~doc:
+            "On a cyclic layer or an infeasible layer budget, write a minimized counterexample \
+             witness to FILE (validated by the trusted re-check before writing).")
+  in
+  let explain =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "explain" ] ~docv:"RULE-ID"
+          ~doc:"Print the catalog entry and remediation for a rule (e.g. A009-layer-budget-infeasible) and exit.")
+  in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"lint forwarding tables and check their deadlock-freedom certificate (exit 0 iff all certified and lint-clean)")
-    Term.(const run $ specs $ tables $ algorithm $ max_layers $ json $ minimal $ slack $ cert_out)
+    Term.(
+      const run $ specs $ tables $ algorithm $ max_layers $ json $ minimal $ slack $ cert_out
+      $ existence $ min_layers $ witness_out $ explain)
 
 (* Schedule source shared by manage and trace: a file to replay, or a
    generated mix of cable faults, switch removals and drains. *)

@@ -7,6 +7,7 @@ type report = {
   channels : int;
   terminals : int;
   num_layers : int;
+  min_layers_lb : int;
   findings : Diag.finding list;
   verdict : verdict;
 }
@@ -38,8 +39,46 @@ let certify ft =
         | Ok () -> Ok cert
         | Error msg -> Error (Printf.sprintf "checker refuted the generated witness: %s" msg)))
 
+(* Topology-level findings (A008/A009/A010): computed on the fabric the
+   table is judged against, so a degraded [?graph] override is analyzed,
+   not the construction-time topology. *)
+let existence_findings ex ~num_layers =
+  let open Existence in
+  match ex.unreachable with
+  | Some (s, d) ->
+    [
+      Diag.finding Diag.a008_no_deadlock_free_routing
+        (Printf.sprintf
+           "terminal %d has no path to terminal %d in the enabled fabric: no routing, \
+            deadlock-free or otherwise, serves the demand set"
+           s d);
+    ]
+  | None ->
+    if ex.min_layers_lb > num_layers then
+      let detail =
+        match ex.cores with
+        | c :: _ ->
+          Printf.sprintf
+            "declared budget %d is below the provable minimum %d (forced by a unidirectional \
+             core of %d channels)"
+            num_layers ex.min_layers_lb (Array.length c.cycle)
+        | [] ->
+          Printf.sprintf "declared budget %d is below the provable minimum %d" num_layers
+            ex.min_layers_lb
+      in
+      [ Diag.finding Diag.a009_layer_budget_infeasible detail ]
+    else
+      [
+        Diag.finding Diag.a010_layer_slack
+          (Printf.sprintf "%d layer(s) used, provable minimum %d (slack %d)" num_layers
+             ex.min_layers_lb (num_layers - ex.min_layers_lb));
+      ]
+
 let analyze_inner ?hop_budget ?graph ft =
   let findings = Lint.table ?hop_budget ?graph ft in
+  let fabric = Option.value graph ~default:(Ftable.graph ft) in
+  let ex = Existence.analyze fabric in
+  let findings = findings @ existence_findings ex ~num_layers:(Ftable.num_layers ft) in
   let findings, verdict =
     match Cert.of_table ft with
     | Error (Cert.Cycle { layer; stuck } as e) ->
@@ -61,6 +100,7 @@ let analyze_inner ?hop_budget ?graph ft =
     channels = Graph.num_channels g;
     terminals = Graph.num_terminals g;
     num_layers = Ftable.num_layers ft;
+    min_layers_lb = ex.Existence.min_layers_lb;
     findings;
     verdict;
   }
@@ -93,8 +133,8 @@ let ok r =
   (match r.verdict with Certified _ -> true | Rejected _ -> false) && Diag.num_errors r.findings = 0
 
 let pp ppf r =
-  Format.fprintf ppf "@[<v>%s: %d terminals, %d channels, %d layer(s)@," r.algorithm r.terminals
-    r.channels r.num_layers;
+  Format.fprintf ppf "@[<v>%s: %d terminals, %d channels, %d layer(s) (provable minimum %d)@,"
+    r.algorithm r.terminals r.channels r.num_layers r.min_layers_lb;
   (match r.findings with
   | [] -> Format.fprintf ppf "lint: no findings@,"
   | fs ->
@@ -114,8 +154,9 @@ let to_json ?target r =
   | Some t -> Buffer.add_string buf (Printf.sprintf {|"target":"%s",|} (Diag.json_escape t))
   | None -> ());
   Buffer.add_string buf
-    (Printf.sprintf {|"algorithm":"%s","terminals":%d,"channels":%d,"num_layers":%d,|}
-       (Diag.json_escape r.algorithm) r.terminals r.channels r.num_layers);
+    (Printf.sprintf
+       {|"algorithm":"%s","terminals":%d,"channels":%d,"num_layers":%d,"min_layers_lb":%d,|}
+       (Diag.json_escape r.algorithm) r.terminals r.channels r.num_layers r.min_layers_lb);
   Buffer.add_string buf
     (Printf.sprintf {|"errors":%d,"warnings":%d,"findings":[%s],|} (Diag.num_errors r.findings)
        (Diag.num_warnings r.findings)

@@ -15,15 +15,22 @@ type report = {
   channels : int;
   terminals : int;
   num_layers : int;  (** the table's declared layer count *)
+  min_layers_lb : int;
+      (** the fabric's provable layer lower bound ({!Existence}); the
+          per-topology slack is [num_layers - min_layers_lb] *)
   findings : Diag.finding list;
   verdict : verdict;
 }
 
-(** [analyze ?hop_budget ?graph ft] lints and certifies [ft]. [graph]
-    lints against an overriding fabric (see {!Lint.view_of_table});
-    certification always runs over the table's own artifacts. A cyclic
-    layer surfaces both as [Rejected] and as an {!Diag.a007_cdg_cycle}
-    finding. *)
+(** [analyze ?hop_budget ?graph ft] lints and certifies [ft], and runs
+    the topology-level existence analysis ({!Existence}) on the fabric
+    the table is judged against. [graph] lints against an overriding
+    fabric (see {!Lint.view_of_table}); certification always runs over
+    the table's own artifacts. A cyclic layer surfaces both as
+    [Rejected] and as an {!Diag.a007_cdg_cycle} finding; an unroutable
+    demand raises {!Diag.a008_no_deadlock_free_routing}, a provably
+    infeasible layer budget {!Diag.a009_layer_budget_infeasible}, and a
+    feasible one the informational {!Diag.a010_layer_slack}. *)
 val analyze : ?hop_budget:Lint.hop_budget -> ?graph:Graph.t -> Ftable.t -> report
 
 (** [certify ft] is the install gate used by {!Fabric.Epoch}: generate a

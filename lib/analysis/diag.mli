@@ -48,8 +48,28 @@ val a006_nonminimal : rule
     certificate exists for the layer. *)
 val a007_cdg_cycle : rule
 
+(** Some ordered terminal pair is unreachable in the enabled fabric, so
+    no routing of any kind serves the demand set ({!Existence}). *)
+val a008_no_deadlock_free_routing : rule
+
+(** The declared layer budget is below the fabric's provable layer
+    minimum ({!Existence.t.min_layers_lb}): every destination-based
+    routing under the budget has a cyclic layer. *)
+val a009_layer_budget_infeasible : rule
+
+(** Informational: achieved layer count vs. the fabric's provable
+    minimum — the per-topology slack of the routing engine. *)
+val a010_layer_slack : rule
+
 (** Every rule above, in id order (the published catalog). *)
 val catalog : rule list
+
+(** Look a rule up by its stable id. *)
+val find_rule : string -> rule option
+
+(** A one-paragraph remediation for the rule, suitable for
+    [fabric_tool analyze --explain]; every catalog rule has one. *)
+val explain : rule -> string
 
 (** {1 Findings} *)
 

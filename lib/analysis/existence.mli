@@ -1,0 +1,86 @@
+(** Topology-level deadlock-freedom existence analysis.
+
+    Everything else in [lib/analysis] judges one concrete forwarding
+    table. This module answers the prior, table-free questions about the
+    fabric itself, in the spirit of Mendlovic & Matias 2025 ("Existence
+    of Deadlock-Free Routing for Arbitrary Networks"), specialized to
+    this repo's routing model — destination-based tables whose routes
+    are loop-free simple paths, each route riding exactly one virtual
+    layer, deadlock freedom meaning every layer's channel dependency
+    graph is acyclic (Dally & Seitz):
+
+    - {e Existence} (rule A008): with the layer count unconstrained, a
+      deadlock-free routing exists iff every ordered pair of distinct
+      terminals is connected in the enabled fabric — one simple path per
+      route on its own layer induces no intra-layer dependency cycle, so
+      reachability is both necessary and sufficient. Decided via one
+      strongly-connected-component pass over the node graph.
+
+    - {e Layer lower bound} (rules A009/A010): how many layers does
+      {e any} such routing provably need? We work over the complete CDG
+      [C]: vertices are enabled channels, with an edge [(c1, c2)]
+      whenever [head c1 = tail c2] and [c2] is not the reverse of [c1]
+      (a loop-free route never makes a U-turn). Every layer's CDG is a
+      subgraph of [C], so dependency cycles live inside the nontrivial
+      SCCs of [C]. For each SCC that is a single simple channel cycle
+      whose surrounding fabric decomposes cleanly (see {!core}), routes
+      between terminals attached to different cycle nodes are forced
+      along the cycle arcs, and a counting argument over the dependency
+      pairs each layer must avoid yields a piercing-number lower bound
+      on the layers — [ceil n/2] for a fully-populated unidirectional
+      n-ring. SCCs without that clean structure contribute the trivial
+      bound 1, keeping the total sound for every fabric. *)
+
+(** A {e clean core}: a nontrivial SCC of the complete CDG forming a
+    single simple channel cycle, such that removing the cycle channels
+    splits the core's node SCC into one component per cycle node. Routes
+    between terminals of different components are then forced through
+    the cycle arcs in order, which is what makes the piercing bound
+    sound. *)
+type core = {
+  cycle : int array;
+      (** the [n] channel ids in dependency order:
+          [head cycle.(i) = tail cycle.((i+1) mod n)] *)
+  host_terminal : int array;
+      (** length [n]; a representative terminal whose component is the
+          one of [tail cycle.(i)], or [-1] if that component hosts no
+          terminal (positions with a terminal are the {e hosts}) *)
+  hosts : int array;  (** host positions, strictly increasing *)
+  bound : int;
+      (** provable layer minimum forced by this core (the circular
+          piercing number of the hosts' uncovered windows; [>= 2]) *)
+}
+
+type t = {
+  num_terminals : int;
+  unreachable : (int * int) option;
+      (** [Some (s, d)]: terminal [s] has no path to terminal [d] in the
+          enabled fabric, so no routing — deadlock-free or otherwise —
+          serves the demand set (rule A008) *)
+  min_layers_lb : int;
+      (** provable lower bound on the virtual layers any deadlock-free
+          destination-based routing needs: [0] when there are no demands
+          (fewer than two terminals), else the max over clean cores of
+          their bound, at least [1] *)
+  cores : core list;  (** clean cores with [bound >= 2], strongest first *)
+}
+
+(** Analyze the enabled fabric. Cost is O(V + E + sum over nodes of
+    in-degree * out-degree) — two SCC passes plus per-core labeling —
+    independent of any routing run. *)
+val analyze : Graph.t -> t
+
+(** [min_layers_lb g] is [(analyze g).min_layers_lb]. *)
+val min_layers_lb : Graph.t -> int
+
+(** [feasible t ~budget] is [false] iff some demand is unroutable
+    ({!field-unreachable}) or [budget < min_layers_lb]. *)
+val feasible : t -> budget:int -> bool
+
+(** [piercing ~n ~hosts] is the minimum number of points on the circle
+    [0 .. n-1] meeting every host window (the circular-interval piercing
+    number used for {!core.bound}); [1] when fewer than two hosts.
+    [hosts] must be strictly increasing positions in [0 .. n-1]. Shared
+    with the witness checker, which recomputes bounds from verified
+    hosts only. *)
+val piercing : n:int -> hosts:int array -> int

@@ -60,7 +60,19 @@ let try_swap t ~label candidate =
   finish
   @@
   let t0 = Unix.gettimeofday () in
-  (* The independent certificate gate runs first: the trusted checker in
+  (* The topology-level existence gate runs before anything touches the
+     candidate's routes: a layer budget below the fabric's provable
+     minimum (Analysis.Existence) cannot be certified by any table, so
+     the candidate is refused without spending a certificate run on it. *)
+  let ex = Analysis.Existence.analyze (Ftable.graph candidate) in
+  if ex.Analysis.Existence.min_layers_lb > Ftable.num_layers candidate then
+    ( Error
+        (Printf.sprintf
+           "existence: layer budget %d is below the provable minimum %d for this fabric"
+           (Ftable.num_layers candidate) ex.Analysis.Existence.min_layers_lb),
+      Unix.gettimeofday () -. t0 )
+  else
+  (* The independent certificate gate runs next: the trusted checker in
      lib/analysis must accept a topological witness for every layer
      before the (construction-side) verifier is even consulted. A table
      the checker cannot certify never goes live, whatever the code that

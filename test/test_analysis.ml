@@ -131,7 +131,14 @@ let test_fresh_tables_clean () =
   List.iter
     (fun name ->
       let r = Analysis.Analyzer.analyze (route name g) in
-      check Alcotest.int (name ^ " findings") 0 (List.length r.Analysis.Analyzer.findings);
+      let fs = r.Analysis.Analyzer.findings in
+      check Alcotest.int (name ^ " errors") 0 (Analysis.Diag.num_errors fs);
+      check Alcotest.int (name ^ " warnings") 0 (Analysis.Diag.num_warnings fs);
+      (* the only finding on a clean table is the informational slack *)
+      check Alcotest.int (name ^ " findings") 1 (List.length fs);
+      check Alcotest.bool (name ^ " slack info") true (has_rule fs "A010-layer-slack");
+      check Alcotest.bool (name ^ " lb sound") true
+        (r.Analysis.Analyzer.min_layers_lb <= r.Analysis.Analyzer.num_layers);
       check Alcotest.bool (name ^ " ok") true (Analysis.Analyzer.ok r))
     [ "dfsssp"; "lash"; "updown" ]
 
@@ -344,9 +351,13 @@ let mutation_property =
           has_rule (Analysis.Lint.table bad) "A004-layer-transition"
         end
       | _ ->
-        (* no mutation: fresh tables stay clean and certified *)
+        (* no mutation: fresh tables stay clean and certified (the
+           informational A010 slack finding is always present) *)
         let r = Analysis.Analyzer.analyze ft in
-        Analysis.Analyzer.ok r && r.Analysis.Analyzer.findings = [])
+        Analysis.Analyzer.ok r
+        && Analysis.Diag.num_errors r.Analysis.Analyzer.findings = 0
+        && Analysis.Diag.num_warnings r.Analysis.Analyzer.findings = 0
+        && has_rule r.Analysis.Analyzer.findings "A010-layer-slack")
 
 (* ------------------------------------------------------------------ *)
 (* Ftable_io round trip                                                 *)
@@ -366,7 +377,8 @@ let test_ftable_io_roundtrip_analyze () =
            order is canonicalized), so the reloaded table earns its own
            certificate rather than reusing the original's *)
         let r = Analysis.Analyzer.analyze ft' in
-        check Alcotest.int "findings" 0 (List.length r.Analysis.Analyzer.findings);
+        check Alcotest.int "errors" 0 (Analysis.Diag.num_errors r.Analysis.Analyzer.findings);
+        check Alcotest.int "warnings" 0 (Analysis.Diag.num_warnings r.Analysis.Analyzer.findings);
         check Alcotest.bool "certified" true (Analysis.Analyzer.ok r);
         check Alcotest.int "layer count preserved" (Routing.Ftable.num_layers ft)
           (Routing.Ftable.num_layers ft'))
@@ -391,6 +403,278 @@ let test_epoch_gate_refuses_uncertified () =
   | Error msg, _ -> Alcotest.failf "certified table refused: %s" msg);
   check Alcotest.int "epoch advanced" 1 (Fabric.Epoch.epoch epochs)
 
+(* ------------------------------------------------------------------ *)
+(* Existence analysis and layer lower bounds                            *)
+(* ------------------------------------------------------------------ *)
+
+(* A unidirectional ring: ring:n with only the clockwise switch->switch
+   channels enabled (terminal channels stay bidirectional). The textbook
+   infeasible-budget fabric: every switch-to-switch route is forced the
+   same way round, so any deadlock-free routing needs ceil(n/2) layers. *)
+let one_way_ring ~switches =
+  let g = Topo_ring.make ~switches ~terminals_per_switch:1 in
+  let sws = Graph.switches g in
+  let n = Array.length sws in
+  let next = Hashtbl.create n in
+  Array.iteri (fun i s -> Hashtbl.replace next s sws.((i + 1) mod n)) sws;
+  let enabled =
+    Array.map
+      (fun (c : Channel.t) ->
+        if Graph.is_switch g c.Channel.src && Graph.is_switch g c.Channel.dst then
+          Hashtbl.find next c.Channel.src = c.Channel.dst
+        else true)
+      (Graph.channels g)
+  in
+  Graph.with_enabled g ~enabled
+
+let test_existence_one_way_ring () =
+  let g = one_way_ring ~switches:8 in
+  let ex = Analysis.Existence.analyze g in
+  check Alcotest.bool "all demands routable" true (ex.Analysis.Existence.unreachable = None);
+  check Alcotest.int "lb = ceil 8/2" 4 ex.Analysis.Existence.min_layers_lb;
+  (match ex.Analysis.Existence.cores with
+  | [ core ] ->
+    check Alcotest.int "core cycle length" 8 (Array.length core.Analysis.Existence.cycle);
+    check Alcotest.int "every position hosted" 8 (Array.length core.Analysis.Existence.hosts);
+    check Alcotest.int "core bound" 4 core.Analysis.Existence.bound
+  | cores -> Alcotest.failf "expected one clean core, got %d" (List.length cores));
+  check Alcotest.bool "budget 3 infeasible" false (Analysis.Existence.feasible ex ~budget:3);
+  check Alcotest.bool "budget 4 feasible" true (Analysis.Existence.feasible ex ~budget:4);
+  (* odd ring: ceil 7/2 = 4 *)
+  check Alcotest.int "7-ring lb" 4 (Analysis.Existence.min_layers_lb (one_way_ring ~switches:7))
+
+let test_existence_seeds_feasible () =
+  List.iter
+    (fun (name, g) ->
+      let ex = Analysis.Existence.analyze g in
+      check Alcotest.bool (name ^ " routable") true (ex.Analysis.Existence.unreachable = None);
+      (* bidirected seeds have no clean unidirectional core *)
+      check Alcotest.int (name ^ " lb") 1 ex.Analysis.Existence.min_layers_lb;
+      let ft = route "dfsssp" g in
+      check Alcotest.bool (name ^ " lb <= achieved") true
+        (ex.Analysis.Existence.min_layers_lb <= Routing.Ftable.num_layers ft))
+    (seeds ())
+
+let test_existence_unreachable () =
+  (* break the one-way ring: disabling one clockwise arc leaves some
+     ordered pair with no path at all — rule A008 territory *)
+  let g = one_way_ring ~switches:8 in
+  let sws = Graph.switches g in
+  let enabled = Array.init (Graph.num_channels g) (Graph.channel_enabled g) in
+  enabled.(chan_between g sws.(0) sws.(1)) <- false;
+  let broken = Graph.with_enabled g ~enabled in
+  let ex = Analysis.Existence.analyze broken in
+  (match ex.Analysis.Existence.unreachable with
+  | None -> Alcotest.fail "expected an unroutable demand"
+  | Some (s, d) ->
+    let dist = Graph.bfs_dist broken s in
+    check Alcotest.bool "reported pair really is unroutable" true (dist.(d) = max_int));
+  check Alcotest.bool "no budget helps" false (Analysis.Existence.feasible ex ~budget:64);
+  (* and the analyzer surfaces it as A008 via the graph override *)
+  let ft = route "dfsssp" (Topo_ring.make ~switches:8 ~terminals_per_switch:1) in
+  let r = Analysis.Analyzer.analyze ~graph:broken ft in
+  check Alcotest.bool "A008" true (has_rule r.Analysis.Analyzer.findings "A008-no-deadlock-free-routing");
+  check Alcotest.bool "not ok" false (Analysis.Analyzer.ok r)
+
+let test_one_way_ring_routed_above_lb () =
+  (* ground truth: dfsssp really does route the one-way 8-ring, and it
+     cannot beat the provable minimum of 4 layers *)
+  let g = one_way_ring ~switches:8 in
+  let ft = route ~max_layers:8 "dfsssp" g in
+  check Alcotest.bool "uses >= 4 layers" true (Routing.Ftable.num_layers ft >= 4);
+  let r = Analysis.Analyzer.analyze ft in
+  check Alcotest.bool "certified" true (Analysis.Analyzer.ok r);
+  check Alcotest.int "lb in report" 4 r.Analysis.Analyzer.min_layers_lb;
+  check Alcotest.bool "A010 slack info" true (has_rule r.Analysis.Analyzer.findings "A010-layer-slack")
+
+let test_a009_budget_infeasible () =
+  let g = one_way_ring ~switches:8 in
+  let ft = route ~max_layers:8 "dfsssp" g in
+  let merged = copy_table ft in
+  let terminals = Graph.terminals g in
+  Array.iter
+    (fun src ->
+      Array.iter (fun dst -> if src <> dst then Routing.Ftable.set_layer merged ~src ~dst 0) terminals)
+    terminals;
+  Routing.Ftable.set_num_layers merged 1;
+  let r = Analysis.Analyzer.analyze merged in
+  check Alcotest.bool "A009" true (has_rule r.Analysis.Analyzer.findings "A009-layer-budget-infeasible");
+  check Alcotest.bool "not ok" false (Analysis.Analyzer.ok r)
+
+let test_epoch_gate_existence () =
+  let epochs = Fabric.Epoch.create () in
+  let g = one_way_ring ~switches:8 in
+  let ft = route ~max_layers:8 "dfsssp" g in
+  let undersized = copy_table ft in
+  Routing.Ftable.set_num_layers undersized 3;
+  (match Fabric.Epoch.try_swap epochs ~label:"undersized" undersized with
+  | Ok _, _ -> Alcotest.fail "budget below the provable minimum must not swap in"
+  | Error msg, _ ->
+    check Alcotest.bool (Printf.sprintf "refusal names existence: %S" msg) true
+      (String.length msg >= 9 && String.sub msg 0 9 = "existence"));
+  check Alcotest.int "epoch unchanged" 0 (Fabric.Epoch.epoch epochs);
+  (* the honestly-layered table passes the same gate *)
+  (match Fabric.Epoch.try_swap epochs ~label:"good" ft with
+  | Ok _, _ -> ()
+  | Error msg, _ -> Alcotest.failf "feasible table refused: %s" msg);
+  check Alcotest.int "epoch advanced" 1 (Fabric.Epoch.epoch epochs)
+
+(* ------------------------------------------------------------------ *)
+(* Counterexample witnesses                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_core_witness () =
+  let g = one_way_ring ~switches:8 in
+  let ex = Analysis.Existence.analyze g in
+  let core = List.hd ex.Analysis.Existence.cores in
+  let w =
+    match Analysis.Witness.of_core g core with
+    | Ok w -> w
+    | Error msg -> Alcotest.failf "of_core: %s" msg
+  in
+  (match w.Analysis.Witness.kind with
+  | Analysis.Witness.Topology_core { min_layers } -> check Alcotest.int "claimed minimum" 4 min_layers
+  | Analysis.Witness.Layer_cycle _ -> Alcotest.fail "expected a core witness");
+  (match Analysis.Witness.check_graph w g with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "trusted re-check: %s" msg);
+  (* text round trip survives the trusted re-check too *)
+  (match Analysis.Witness.of_string (Analysis.Witness.to_string w) with
+  | Error msg -> Alcotest.failf "parse: %s" msg
+  | Ok w' ->
+    check Alcotest.bool "identical" true (w = w');
+    (match Analysis.Witness.check_graph w' g with
+    | Ok () -> ()
+    | Error msg -> Alcotest.failf "parsed witness fails re-check: %s" msg));
+  let json = Analysis.Witness.to_json w in
+  check Alcotest.bool "json names the kind" true (Testutil.contains json "core")
+
+let test_core_witness_rejects_corruption () =
+  let g = one_way_ring ~switches:8 in
+  let ex = Analysis.Existence.analyze g in
+  let w =
+    match Analysis.Witness.of_core g (List.hd ex.Analysis.Existence.cores) with
+    | Ok w -> w
+    | Error msg -> Alcotest.failf "of_core: %s" msg
+  in
+  let rejected name w' =
+    check Alcotest.bool name true (Result.is_error (Analysis.Witness.check_graph w' g))
+  in
+  (* a claim above the recomputed piercing bound *)
+  rejected "inflated claim rejected"
+    { w with Analysis.Witness.kind = Analysis.Witness.Topology_core { min_layers = 5 } };
+  (* a claim that is not even a budget violation *)
+  rejected "trivial claim rejected"
+    { w with Analysis.Witness.kind = Analysis.Witness.Topology_core { min_layers = 1 } };
+  (* cycle order broken: head/tail no longer chain *)
+  let swapped = Array.copy w.Analysis.Witness.cycle in
+  let tmp = swapped.(0) in
+  swapped.(0) <- swapped.(1);
+  swapped.(1) <- tmp;
+  rejected "swapped cycle rejected" { w with Analysis.Witness.cycle = swapped };
+  (* duplicate channel: not a simple cycle *)
+  let dup = Array.copy w.Analysis.Witness.cycle in
+  dup.(1) <- dup.(0);
+  rejected "duplicate channel rejected" { w with Analysis.Witness.cycle = dup };
+  (* a demand source that is not a terminal *)
+  let bad_srcs = Array.copy w.Analysis.Witness.srcs in
+  bad_srcs.(0) <- (Graph.switches g).(0);
+  rejected "non-terminal demand rejected" { w with Analysis.Witness.srcs = bad_srcs };
+  (* wrong graph shape *)
+  rejected "channel-space mismatch rejected" { w with Analysis.Witness.num_channels = 3 };
+  (* layer witnesses are not acceptable here *)
+  rejected "kind mismatch rejected"
+    { w with Analysis.Witness.kind = Analysis.Witness.Layer_cycle { layer = 0 } };
+  (* truncated text fails to parse at all *)
+  let text = Analysis.Witness.to_string w in
+  let truncated = String.sub text 0 (String.rindex text 'e') in
+  check Alcotest.bool "truncated text rejected" true
+    (Result.is_error (Analysis.Witness.of_string truncated))
+
+let test_layer_witness () =
+  let ft = clockwise_ring ~switches:8 in
+  let w =
+    match Analysis.Witness.of_table ft with
+    | Ok (Some w) -> w
+    | Ok None -> Alcotest.fail "clockwise ring must yield a cycle witness"
+    | Error msg -> Alcotest.failf "of_table: %s" msg
+  in
+  (match w.Analysis.Witness.kind with
+  | Analysis.Witness.Layer_cycle { layer } -> check Alcotest.int "layer" 0 layer
+  | Analysis.Witness.Topology_core _ -> Alcotest.fail "expected a layer witness");
+  (* minimization: the 8-ring's chordless CDG cycle has all 8 arcs *)
+  check Alcotest.int "minimal cycle length" 8 (Array.length w.Analysis.Witness.cycle);
+  (match Analysis.Witness.check_table w ft with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "trusted re-check: %s" msg);
+  (match Analysis.Witness.of_string (Analysis.Witness.to_string w) with
+  | Error msg -> Alcotest.failf "parse: %s" msg
+  | Ok w' ->
+    check Alcotest.bool "round trip identical" true (w = w'));
+  let rejected name w' =
+    check Alcotest.bool name true (Result.is_error (Analysis.Witness.check_table w' ft))
+  in
+  rejected "wrong layer rejected"
+    { w with Analysis.Witness.kind = Analysis.Witness.Layer_cycle { layer = 1 } };
+  let bad_dsts = Array.copy w.Analysis.Witness.dsts in
+  bad_dsts.(0) <- w.Analysis.Witness.srcs.(0);
+  rejected "degenerate demand rejected" { w with Analysis.Witness.dsts = bad_dsts };
+  rejected "kind mismatch rejected"
+    { w with Analysis.Witness.kind = Analysis.Witness.Topology_core { min_layers = 2 } };
+  (* a clean table has nothing to witness *)
+  match Analysis.Witness.of_table (torus_table ()) with
+  | Ok None -> ()
+  | Ok (Some _) -> Alcotest.fail "certified table must not yield a witness"
+  | Error msg -> Alcotest.failf "of_table on clean table: %s" msg
+
+(* Satellite: the provable lower bound never exceeds what any registry
+   engine actually achieves — on random fabrics, the jittered seed mix,
+   and unidirectional rings where the bound is tight. *)
+let lb_never_exceeds_achieved =
+  qtest ~count:10 "existence: lower bound <= layers achieved by every engine"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let g =
+        match seed mod 3 with
+        | 0 -> Testutil.random_graph ~terminals:10 rng
+        | 1 -> snd (Testutil.fabric seed)
+        | _ -> one_way_ring ~switches:(5 + (seed mod 5))
+      in
+      let lb = Analysis.Existence.min_layers_lb g in
+      lb >= 1
+      && List.for_all
+           (fun (a : Dfsssp.Registry.algorithm) ->
+             match a.Dfsssp.Registry.run g with
+             | Error _ -> true (* a refusal is not an achieved layer count *)
+             | Ok ft -> (
+               (* the bound constrains deadlock-free routings only, so a
+                  baseline table the certifier rejects owes it nothing *)
+               match Analysis.Analyzer.certify ft with
+               | Error _ -> true
+               | Ok _ -> lb <= Routing.Ftable.num_layers ft))
+           (Dfsssp.Registry.all ~max_layers:16 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Rule catalog: explanations and ASCII hygiene                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_explain_catalog () =
+  check Alcotest.int "catalog size" 10 (List.length Analysis.Diag.catalog);
+  let ascii s = String.for_all (fun c -> Char.code c < 128) s in
+  List.iter
+    (fun (r : Analysis.Diag.rule) ->
+      let e = Analysis.Diag.explain r in
+      check Alcotest.bool (r.Analysis.Diag.id ^ " has remediation") true
+        (String.length e > 0 && e <> "No remediation recorded for this rule.");
+      check Alcotest.bool (r.Analysis.Diag.id ^ " title is ASCII") true (ascii r.Analysis.Diag.title);
+      check Alcotest.bool (r.Analysis.Diag.id ^ " remediation is ASCII") true (ascii e);
+      match Analysis.Diag.find_rule r.Analysis.Diag.id with
+      | Some r' -> check Alcotest.bool (r.Analysis.Diag.id ^ " findable") true (r' == r)
+      | None -> Alcotest.failf "%s missing from find_rule" r.Analysis.Diag.id)
+    Analysis.Diag.catalog;
+  check Alcotest.bool "unknown id misses" true (Analysis.Diag.find_rule "A999-bogus" = None)
+
 let () =
   Alcotest.run "analysis"
     [
@@ -412,6 +696,27 @@ let () =
           Alcotest.test_case "A005 dead entry (degraded fabric)" `Quick test_a005_dead_entry;
           Alcotest.test_case "A006 hop budget" `Quick test_a006_hop_budget;
           mutation_property;
+        ] );
+      ( "existence",
+        [
+          Alcotest.test_case "one-way ring forces ceil n/2 layers" `Quick test_existence_one_way_ring;
+          Alcotest.test_case "paper seeds are feasible at lb 1" `Quick test_existence_seeds_feasible;
+          Alcotest.test_case "A008 unroutable demand" `Quick test_existence_unreachable;
+          Alcotest.test_case "dfsssp meets the one-way-ring bound" `Quick test_one_way_ring_routed_above_lb;
+          Alcotest.test_case "A009 infeasible layer budget" `Quick test_a009_budget_infeasible;
+          Alcotest.test_case "epoch gate refuses infeasible budgets" `Quick test_epoch_gate_existence;
+          lb_never_exceeds_achieved;
+        ] );
+      ( "witness",
+        [
+          Alcotest.test_case "core witness generates, checks, round trips" `Quick test_core_witness;
+          Alcotest.test_case "checker rejects corrupted core witnesses" `Quick
+            test_core_witness_rejects_corruption;
+          Alcotest.test_case "layer witness generates, checks, round trips" `Quick test_layer_witness;
+        ] );
+      ( "catalog",
+        [
+          Alcotest.test_case "every rule has an ASCII explanation" `Quick test_explain_catalog;
         ] );
       ( "integration",
         [
