@@ -1,4 +1,4 @@
-.PHONY: all check test lint doc clean bench-cdg bench-routing bench-analysis analyze-examples kernel-equivalence bench-service smoke-service coverage
+.PHONY: all check test lint doc clean bench-cdg bench-routing bench-analysis bench-break break-smoke analyze-examples kernel-equivalence bench-service smoke-service coverage
 
 all:
 	dune build
@@ -7,10 +7,11 @@ all:
 # every test suite passes (runtest includes test_parallel, the 2-domain
 # determinism smoke of the parallel routing pipeline, and test_spf, the
 # kernel-equivalence property suite), the routing certifier signs off
-# on the example topologies, and the SSSP kernels agree bit-for-bit on
-# the quick equivalence fixtures.
+# on the example topologies, the SSSP kernels agree bit-for-bit on
+# the quick equivalence fixtures, and the two cycle-break engines agree
+# on a small torus (break-smoke).
 check:
-	dune build && dune build --profile release && dune runtest && $(MAKE) lint && $(MAKE) analyze-examples && $(MAKE) kernel-equivalence && $(MAKE) smoke-service
+	dune build && dune build --profile release && dune runtest && $(MAKE) lint && $(MAKE) analyze-examples && $(MAKE) kernel-equivalence && $(MAKE) break-smoke && $(MAKE) smoke-service
 
 test: check
 
@@ -41,6 +42,21 @@ bench-cdg:
 # of the dfsssp route-build time on a 4096-endpoint XGFT.
 bench-analysis:
 	dune exec --profile release bench/analysis_bench.exe
+
+# Cycle-break engine benchmark (DESIGN.md §17): SCC condensation vs the
+# one-cycle-at-a-time DFS oracle, sequential and across domains, with
+# per-stage condense/evict/rebuild splits. Writes
+# bench_results/cycle_break.json; fails if SCC is under 2x DFS on the
+# torus workloads, a layer count drifts past oracle+1, or parallel
+# planning falls under 0.9x sequential.
+bench-break:
+	dune exec --profile release bench/break_bench.exe
+
+# Quick engine-parity mode of the same binary (seconds, no timing
+# gates): both engines must agree on layers within +1 on a small torus.
+# Part of `check`.
+break-smoke:
+	dune exec --profile release bench/break_bench.exe -- --quick
 
 # Domain-parallel routing pipeline benchmark (DESIGN.md §12, §15).
 # Writes bench_results/routing_parallel.json with sequential vs parallel

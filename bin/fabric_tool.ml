@@ -401,11 +401,26 @@ let kernel_arg =
            (Dial bucket queue), or incremental (switch-tree reuse). Kernel choice never changes \
            the tables.")
 
+let engine_conv =
+  let parse s = Result.map_error (fun e -> `Msg e) (Deadlock.Layers.engine_of_string s) in
+  let pp ppf e = Format.pp_print_string ppf (Deadlock.Layers.engine_to_string e) in
+  Arg.conv (parse, pp)
+
+let engine_arg =
+  Arg.(
+    value
+    & opt engine_conv `Scc
+    & info [ "break-engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Cycle-break engine for full recomputes: scc (SCC condensation, the default) or dfs \
+           (the one-cycle-at-a-time oracle). Layer counts stay within one layer of each other \
+           (DESIGN.md section 17).")
+
 (* manage: the live fabric manager — replay a fault schedule and report
    convergence after every event. *)
 let manage_cmd =
   let run spec events seed schedule_file removals drains algorithm max_layers layer_budget
-      repair_fraction batch domains kernel print_schedule stats_out =
+      repair_fraction batch domains kernel engine print_schedule stats_out =
     let layer_budget = Option.value ~default:max_layers layer_budget in
     (* --batch unset: snapshot in recommended batches when the pipeline
        is on (--domains > 1), stay on the sequential recurrence
@@ -435,7 +450,16 @@ let manage_cmd =
       | Ok t -> (
         let g = t.Harness.Topospec.graph in
         let config =
-          { Fabric.Manager.algorithm; max_layers; layer_budget; repair_fraction; batch; domains; kernel }
+          {
+            Fabric.Manager.algorithm;
+            max_layers;
+            layer_budget;
+            repair_fraction;
+            batch;
+            domains;
+            kernel;
+            engine;
+          }
         in
       match load_schedule g ~schedule_file ~seed ~events ~removals ~drains with
       | Error msg ->
@@ -544,7 +568,8 @@ let manage_cmd =
        ~doc:"run the live fabric manager over a fault schedule and print a convergence report")
     Term.(
       const run $ spec $ events $ seed $ schedule_file $ removals $ drains $ algorithm $ max_layers
-      $ layer_budget $ repair_fraction $ batch $ domains $ kernel_arg $ print_schedule $ stats_out)
+      $ layer_budget $ repair_fraction $ batch $ domains $ kernel_arg $ engine_arg
+      $ print_schedule $ stats_out)
 
 (* trace: the manage path again, but with observability enabled and a
    JSON-lines span sink — one compact JSON object per span, innermost
@@ -670,7 +695,7 @@ let host_arg =
    and observability snapshots to many concurrent clients. *)
 let serve_cmd =
   let run spec socket tcp host replace queue_depth max_frame trace_capacity algorithm max_layers
-      layer_budget repair_fraction batch domains kernel =
+      layer_budget repair_fraction batch domains kernel engine =
     let layer_budget = Option.value ~default:max_layers layer_budget in
     let batch =
       match batch with
@@ -707,6 +732,7 @@ let serve_cmd =
                 batch;
                 domains;
                 kernel;
+                engine;
               };
           }
         in
@@ -803,7 +829,7 @@ let serve_cmd =
     Term.(
       const run $ spec $ socket_arg $ tcp_arg $ host_arg $ replace $ queue_depth $ max_frame
       $ trace_capacity $ algorithm $ max_layers $ layer_budget $ repair_fraction $ batch $ domains
-      $ kernel_arg)
+      $ kernel_arg $ engine_arg)
 
 (* client: one-shot requests, schedule replay and raw JSON scripting
    against a running daemon. *)

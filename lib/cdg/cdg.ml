@@ -270,6 +270,14 @@ let slot_col t sl = t.col.(sl)
 
 let slot_live t sl = t.cnt.(sl) > 0
 
+let slot_count t sl = t.cnt.(sl)
+
+let iter_slot_pairs t sl f =
+  for i = t.poff.(sl) to t.poff.(sl + 1) - 1 do
+    if t.pbuf.(i) >= 0 then f t.pbuf.(i)
+  done;
+  List.iter f t.extra.(sl)
+
 let no_over = [||]
 
 let overlay_successors t c =
@@ -318,14 +326,23 @@ let iter_edges t f =
 (* One-pass CSR construction from a route store: counting sort of all
    dependency occurrences by head channel, then per-row successor
    dedup via stamps. O(total dependencies + channels). *)
-let of_store ?filter store =
+let of_store ?filter ?pairs store =
   let g = Route_store.graph store in
   let m = Graph.num_channels g in
   let keep = match filter with None -> fun _ -> true | Some f -> f in
+  (* [pairs] narrows the sweep to an explicit id list (each present in the
+     store, no duplicates) — the streaming handoff of the SCC engine,
+     which knows exactly which pairs it moved into the next layer and
+     skips the full-capacity scan. *)
+  let iter_members f =
+    match pairs with
+    | None -> Route_store.iter_pairs store f
+    | Some ids -> Array.iter f ids
+  in
   (* occurrence counts per head channel, shifted by one for the prefix sum *)
   let occ = Array.make (m + 1) 0 in
   let npaths = ref 0 in
-  Route_store.iter_pairs store (fun pr ->
+  iter_members (fun pr ->
       if keep pr then begin
         incr npaths;
         Route_store.iter_deps store ~pair:pr (fun a _ -> occ.(a + 1) <- occ.(a + 1) + 1)
@@ -337,7 +354,7 @@ let of_store ?filter store =
   let dep_col = Array.make total 0 in
   let dep_pair = Array.make total 0 in
   let cursor = Array.copy occ in
-  Route_store.iter_pairs store (fun pr ->
+  iter_members (fun pr ->
       if keep pr then
         Route_store.iter_deps store ~pair:pr (fun a b ->
             let k = cursor.(a) in

@@ -24,10 +24,13 @@ type t
     in the overlay. *)
 val create : Graph.t -> t
 
-(** [of_store ?filter store] builds the CDG of every present pair of
-    [store] ([filter] restricts to pairs satisfying it — e.g. one virtual
-    layer) straight into CSR form, in one pass over the dependencies. *)
-val of_store : ?filter:(int -> bool) -> Route_store.t -> t
+(** [of_store ?filter ?pairs store] builds the CDG of every present pair
+    of [store] ([filter] restricts to pairs satisfying it — e.g. one
+    virtual layer) straight into CSR form, in one pass over the
+    dependencies. [pairs] replaces the full-capacity scan with an explicit
+    id list (each present, no duplicates) — how the SCC layer engine
+    streams just-evicted pairs into the next layer's build. *)
+val of_store : ?filter:(int -> bool) -> ?pairs:int array -> Route_store.t -> t
 
 (** Fold the overlay (and any tombstoned membership slots) back into a
     fresh CSR base. Semantically a no-op; scans get faster. *)
@@ -76,6 +79,14 @@ val slot_range : t -> int -> int * int
 val slot_col : t -> int -> int
 
 val slot_live : t -> int -> bool
+
+(** Live inducing-route count of one base slot (0 = dead edge). *)
+val slot_count : t -> int -> int
+
+(** [iter_slot_pairs t sl f] calls [f] on each live inducing pair of base
+    slot [sl], without allocating. Like {!edge_pairs} this is a multiset;
+    the order is unspecified but deterministic for an untouched base. *)
+val iter_slot_pairs : t -> int -> (int -> unit) -> unit
 
 (** Snapshot of [c]'s overlay successors; the shared empty array when the
     overlay holds none (the common case after {!of_store}/{!compact}). *)

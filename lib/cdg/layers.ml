@@ -2,6 +2,18 @@ let log_src = Logs.Src.create "deadlock.layers" ~doc:"offline virtual-layer assi
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+type engine =
+  [ `Scc
+  | `Dfs
+  ]
+
+let engine_to_string = function `Scc -> "scc" | `Dfs -> "dfs"
+
+let engine_of_string = function
+  | "scc" -> Ok `Scc
+  | "dfs" -> Ok `Dfs
+  | s -> Error (Printf.sprintf "unknown break engine %S (expected \"scc\" or \"dfs\")" s)
+
 type outcome = {
   layer_of_path : int array;
   layers_used : int;
@@ -12,9 +24,29 @@ let c_assignments = Obs.Registry.counter "layers.assignments" ~desc:"offline lay
 
 let c_cycles = Obs.Registry.counter "layers.cycles_broken" ~desc:"CDG cycles broken across all assignments"
 
+let c_evictions =
+  Obs.Registry.counter "layers.evictions" ~desc:"CDG edges evicted to a higher layer across all assignments"
+
 let t_assign = Obs.Registry.timer "layers.assign" ~desc:"seconds per offline layer assignment"
 
-let assign_store_inner store ~max_layers ~heuristic =
+(* Stage timers, shared by both engines so benches can diff the split:
+   condense = SCC condensation / DFS cycle search, evict = eviction
+   planning and pair relocation, rebuild = CDG construction/compaction. *)
+let t_condense =
+  Obs.Registry.timer "layers.condense" ~desc:"seconds condensing/searching layer CDGs for cycles"
+
+let t_evict = Obs.Registry.timer "layers.evict" ~desc:"seconds planning and applying edge evictions"
+
+let t_rebuild = Obs.Registry.timer "layers.rebuild" ~desc:"seconds building/compacting layer CDGs"
+
+let budget_error vl max_layers =
+  Printf.sprintf "cycle remains in layer %d and no layer is left (max %d)" vl max_layers
+
+(* ------------------------------------------------------------------ *)
+(* DFS oracle: the paper's one-cycle-at-a-time resumable search.       *)
+(* ------------------------------------------------------------------ *)
+
+let assign_store_dfs store ~max_layers ~heuristic =
   let g = Route_store.graph store in
   let layer_of_path = Array.make (Route_store.capacity store) (-1) in
   Route_store.iter_pairs store (fun pr -> layer_of_path.(pr) <- 0);
@@ -28,57 +60,341 @@ let assign_store_inner store ~max_layers ~heuristic =
       cdgs.(i) <- Some c;
       c
   in
-  cdgs.(0) <- Some (Cdg.of_store store);
+  cdgs.(0) <- Some (Obs.Timer.time t_rebuild (fun () -> Cdg.of_store store));
   let error = ref None in
   let vl = ref 0 in
   while !error = None && !vl < max_layers && cdgs.(!vl) <> None do
     let current = cdg !vl in
+    let span =
+      Obs.Trace.begin_span "layers.layer" ~attrs:(fun () ->
+          [ ("layer", Obs.Trace.Int !vl); ("engine", Obs.Trace.Str "dfs") ])
+    in
     (* Layers above 0 were filled through {!Cdg.add_pair}, i.e. the
        overlay; fold them into a CSR base so the sweep runs on array
        scans (and {!Cycle}'s slot cursors stay valid: nothing below adds
        to or compacts [current] while [search] is alive). *)
-    if Cdg.overlay_edges current > 0 then Cdg.compact current;
+    if Cdg.overlay_edges current > 0 then Obs.Timer.time t_rebuild (fun () -> Cdg.compact current);
     let search = Cycle.create current in
+    let layer_cycles = ref 0 in
+    let layer_movers = ref 0 in
     let sweeping = ref true in
     while !sweeping && !error = None do
-      match Cycle.find_cycle search with
+      match Obs.Timer.time t_condense (fun () -> Cycle.find_cycle search) with
       | None -> sweeping := false
       | Some cycle ->
         incr cycles_broken;
-        if !vl + 1 >= max_layers then
-          error :=
-            Some
-              (Printf.sprintf "cycle remains in layer %d and no layer is left (max %d)" !vl max_layers)
+        incr layer_cycles;
+        if !vl + 1 >= max_layers then error := Some (budget_error !vl max_layers)
         else begin
-          let c1, c2 = Heuristic.choose heuristic current cycle in
-          (* membership is exact, so every inducing pair lives here; the
-             multiset may repeat a pair, hence the dedup *)
-          let movers = List.sort_uniq compare (Cdg.edge_pairs current ~c1 ~c2) in
-          Log.debug (fun m ->
-              m "layer %d: cycle of %d edges; evicting edge (%d,%d) with %d routes" !vl
-                (Array.length cycle) c1 c2 (List.length movers));
-          let next = cdg (!vl + 1) in
-          List.iter
-            (fun pr ->
-              Cdg.remove_pair current store ~pair:pr;
-              Cdg.add_pair next store ~pair:pr;
-              layer_of_path.(pr) <- !vl + 1)
-            movers;
-          Cycle.notify_removed search
+          Obs.Timer.time t_evict (fun () ->
+              let c1, c2 = Heuristic.choose heuristic current cycle in
+              (* membership is exact, so every inducing pair lives here;
+                 the multiset may repeat a pair, hence the dedup *)
+              let movers = List.sort_uniq compare (Cdg.edge_pairs current ~c1 ~c2) in
+              Log.debug (fun m ->
+                  m "layer %d: cycle of %d edges; evicting edge (%d,%d) with %d routes" !vl
+                    (Array.length cycle) c1 c2 (List.length movers));
+              let next = cdg (!vl + 1) in
+              layer_movers := !layer_movers + List.length movers;
+              List.iter
+                (fun pr ->
+                  Cdg.remove_pair current store ~pair:pr;
+                  Cdg.add_pair next store ~pair:pr;
+                  layer_of_path.(pr) <- !vl + 1)
+                movers);
+          Obs.Timer.time t_condense (fun () -> Cycle.notify_removed search)
         end
     done;
+    Obs.Counter.incr ~n:!layer_cycles c_evictions;
+    Obs.Trace.end_span span
+      ~attrs:
+        [ ("evictions", Obs.Trace.Int !layer_cycles); ("movers", Obs.Trace.Int !layer_movers) ];
     incr vl
   done;
   match !error with
   | Some msg -> Error msg
   | None ->
     let layers_used = 1 + Array.fold_left max 0 layer_of_path in
-    Log.info (fun m ->
-        m "assigned %d routes over %d layer(s), breaking %d cycle(s)" (Route_store.num_paths store)
-          layers_used !cycles_broken);
     Ok { layer_of_path; layers_used; cycles_broken = !cycles_broken }
 
-let assign_store store ~max_layers ~heuristic =
+(* ------------------------------------------------------------------ *)
+(* SCC engine: condense once per layer, plan evictions per component.  *)
+(* ------------------------------------------------------------------ *)
+
+(* The eviction plan of one non-trivial SCC: which pairs leave this
+   layer, computed without mutating the shared CDG. *)
+type plan = {
+  p_evicted : int list; (* in eviction order *)
+  p_edges : int; (* edges evicted, one per cycle found *)
+}
+
+(* Plan evictions for the non-trivial component [members] of [cdg]
+   (whose condensation produced [comp_of]); [local_of] maps each member
+   channel to its index in [members]. Reads [cdg] only through the CSR
+   base — the caller compacts first — so concurrent planning of disjoint
+   components is safe.
+
+   The component's internal edges are mirrored into a local CSR with an
+   exact live-inducer count per edge and a (c1, c2) -> edge map over
+   just the internal edges, so evicting a pair is a walk of its path
+   deps with O(1) count decrements — no tombstone scans in the shared
+   structure, and no per-pair bookkeeping for the vast majority of
+   pairs that never move. Cycles never leave their SCC (edges removed
+   from a digraph cannot merge SCCs), so a resumable cycle DFS confined
+   to the component — with the oracle's search order and on-cycle
+   heuristic — finds and breaks everything the oracle would, at a
+   fraction of the bookkeeping cost. The plan never consults other
+   components, so results are deterministic under any domain count. *)
+let plan_comp cdg ~store ~comp_of ~local_of ~heuristic members =
+  let n = Array.length members in
+  let mycomp = comp_of.(members.(0)) in
+  let m = Graph.num_channels (Cdg.graph cdg) in
+  (* Local CSR over internal live edges: row [li] owns edges
+     [deg.(li) .. deg.(li+1) - 1]. *)
+  let deg = Array.make (n + 1) 0 in
+  Array.iteri
+    (fun li v ->
+      let lo, hi = Cdg.slot_range cdg v in
+      for sl = lo to hi - 1 do
+        if Cdg.slot_count cdg sl > 0 && comp_of.(Cdg.slot_col cdg sl) = mycomp then
+          deg.(li + 1) <- deg.(li + 1) + 1
+      done)
+    members;
+  for i = 1 to n do
+    deg.(i) <- deg.(i) + deg.(i - 1)
+  done;
+  let ne = deg.(n) in
+  let edst = Array.make ne 0 in
+  let eslot = Array.make ne 0 in
+  let elive = Array.make ne 0 in
+  let e_of = Hashtbl.create (2 * ne) in
+  let pos = Array.sub deg 0 n in
+  Array.iteri
+    (fun li v ->
+      let lo, hi = Cdg.slot_range cdg v in
+      for sl = lo to hi - 1 do
+        let cnt = Cdg.slot_count cdg sl in
+        if cnt > 0 then begin
+          let w = Cdg.slot_col cdg sl in
+          if comp_of.(w) = mycomp then begin
+            let e = pos.(li) in
+            pos.(li) <- e + 1;
+            edst.(e) <- local_of.(w);
+            eslot.(e) <- sl;
+            elive.(e) <- cnt;
+            Hashtbl.replace e_of ((v * m) + w) e
+          end
+        end
+      done)
+    members;
+  let evicted = Hashtbl.create 64 in
+  let ev_order = ref [] in
+  let edges_evicted = ref 0 in
+  (* Evict every still-live pair of edge [e]: replaying a pair's path
+     deps decrements exactly the counts its insertion bumped. *)
+  let evict_pairs e =
+    Cdg.iter_slot_pairs cdg eslot.(e) (fun pr ->
+        if not (Hashtbl.mem evicted pr) then begin
+          Hashtbl.add evicted pr ();
+          ev_order := pr :: !ev_order;
+          Route_store.iter_deps store ~pair:pr (fun c1 c2 ->
+              match Hashtbl.find_opt e_of ((c1 * m) + c2) with
+              | Some e' -> elive.(e') <- elive.(e') - 1
+              | None -> ())
+        end)
+  in
+  (* Resumable cycle DFS over the local CSR — the oracle's search order
+     and on-cycle heuristic choice ({!Cycle} + {!Heuristic.choose}), but
+     every eviction is O(edges of the pair) decrements here instead of
+     tombstone scans in the shared CDG. [fedge.(i)] is the live edge the
+     stack followed into frame [i]; after an eviction the stack is cut
+     at the first dead one, reverting the frames above to white. *)
+  let white = 0 and gray = 1 and black = 2 in
+  let color = Array.make n white in
+  let spos = Array.make n (-1) in
+  let fnode = Array.make n 0 in
+  let fcur = Array.make n 0 in
+  let fedge = Array.make n (-1) in
+  let sp = ref 0 in
+  let next_root = ref 0 in
+  let push li e =
+    color.(li) <- gray;
+    spos.(li) <- !sp;
+    fnode.(!sp) <- li;
+    fcur.(!sp) <- deg.(li);
+    fedge.(!sp) <- e;
+    incr sp
+  in
+  let searching = ref true in
+  while !searching do
+    if !sp = 0 then begin
+      if !next_root >= n then searching := false
+      else if color.(!next_root) = white then push !next_root (-1)
+      else incr next_root
+    end
+    else begin
+      let top = !sp - 1 in
+      let li = fnode.(top) in
+      if fcur.(top) >= deg.(li + 1) then begin
+        color.(li) <- black;
+        spos.(li) <- -1;
+        decr sp
+      end
+      else begin
+        let e = fcur.(top) in
+        if elive.(e) = 0 then fcur.(top) <- e + 1
+        else begin
+          let w = edst.(e) in
+          if color.(w) = black then fcur.(top) <- e + 1
+          else if color.(w) = white then begin
+            fcur.(top) <- e + 1;
+            push w e
+          end
+          else begin
+            (* [w] is gray: the cycle is frames [spos.(w) .. top] plus
+               the closing edge [e]. Choose exactly as the oracle does —
+               cycle order starting at [w], first edge wins ties. *)
+            let start = spos.(w) in
+            let best = ref (if top > start then fedge.(start + 1) else e) in
+            (match heuristic with
+            | Heuristic.First_edge -> ()
+            | Heuristic.Weakest | Heuristic.Heaviest ->
+              let better a b = if heuristic = Heuristic.Weakest then a < b else a > b in
+              let best_count = ref elive.(!best) in
+              for i = start + 2 to top do
+                let c = elive.(fedge.(i)) in
+                if better c !best_count then begin
+                  best := fedge.(i);
+                  best_count := c
+                end
+              done;
+              if top > start && better elive.(e) !best_count then best := e);
+            incr edges_evicted;
+            evict_pairs !best;
+            (* The chosen edge died (and shared pairs may have killed
+               others): cut the stack at the first dead edge, as
+               {!Cycle.notify_removed} does. If only the closing edge
+               died, resume in place — the cursor re-examines it and
+               skips. *)
+            let cut = ref (-1) in
+            let i = ref 1 in
+            while !cut < 0 && !i < !sp do
+              if elive.(fedge.(!i)) = 0 then cut := !i;
+              incr i
+            done;
+            if !cut >= 0 then begin
+              for j = !cut to !sp - 1 do
+                color.(fnode.(j)) <- white;
+                spos.(fnode.(j)) <- -1
+              done;
+              sp := !cut
+            end
+          end
+        end
+      end
+    end
+  done;
+  { p_evicted = List.rev !ev_order; p_edges = !edges_evicted }
+
+let assign_store_scc store ~max_layers ~heuristic ~domains =
+  let g = Route_store.graph store in
+  let layer_of_path = Array.make (Route_store.capacity store) (-1) in
+  Route_store.iter_pairs store (fun pr -> layer_of_path.(pr) <- 0);
+  let cycles_broken = ref 0 in
+  let local_of = Array.make (Graph.num_channels g) (-1) in
+  let error = ref None in
+  let vl = ref 0 in
+  let current = ref (Some (Obs.Timer.time t_rebuild (fun () -> Cdg.of_store store))) in
+  while !error = None && !current <> None do
+    let cdg =
+      match !current with
+      | Some c -> c
+      | None -> assert false
+    in
+    if Cdg.overlay_edges cdg > 0 then Cdg.compact cdg;
+    let span =
+      Obs.Trace.begin_span "layers.layer" ~attrs:(fun () ->
+          [ ("layer", Obs.Trace.Int !vl); ("engine", Obs.Trace.Str "scc") ])
+    in
+    let scc = Obs.Timer.time t_condense (fun () -> Scc.of_cdg cdg) in
+    let nontrivial = scc.Scc.nontrivial in
+    let n_nontrivial = Array.length nontrivial in
+    let largest = Array.fold_left (fun acc c -> max acc (Array.length c)) 0 nontrivial in
+    if n_nontrivial = 0 then begin
+      Obs.Trace.end_span span
+        ~attrs:
+          [
+            ("sccs", Obs.Trace.Int scc.Scc.num_comps);
+            ("nontrivial", Obs.Trace.Int 0);
+            ("evictions", Obs.Trace.Int 0);
+            ("movers", Obs.Trace.Int 0);
+          ];
+      current := None
+    end
+    else if !vl + 1 >= max_layers then begin
+      Obs.Trace.end_span span
+        ~attrs:[ ("error", Obs.Trace.Str "layer budget exhausted") ];
+      error := Some (budget_error !vl max_layers)
+    end
+    else begin
+      let plans =
+        Obs.Timer.time t_evict (fun () ->
+            Array.iter (Array.iteri (fun li v -> local_of.(v) <- li)) nontrivial;
+            let comp_of = scc.Scc.comp_of in
+            let plans =
+              Parallel.map_array ~domains
+                (fun members -> plan_comp cdg ~store ~comp_of ~local_of ~heuristic members)
+                nontrivial
+            in
+            Array.iter (Array.iter (fun v -> local_of.(v) <- -1)) nontrivial;
+            plans)
+      in
+      (* Merge sequentially in component order: plans are independent,
+         so a pair evicted by two components moves once. *)
+      let movers = ref [] in
+      let n_movers = ref 0 in
+      let layer_edges = ref 0 in
+      Array.iter
+        (fun p ->
+          layer_edges := !layer_edges + p.p_edges;
+          List.iter
+            (fun pr ->
+              if layer_of_path.(pr) = !vl then begin
+                layer_of_path.(pr) <- !vl + 1;
+                movers := pr :: !movers;
+                incr n_movers
+              end)
+            p.p_evicted)
+        plans;
+      cycles_broken := !cycles_broken + !layer_edges;
+      Obs.Counter.incr ~n:!layer_edges c_evictions;
+      Log.debug (fun m ->
+          m "layer %d: %d non-trivial SCC(s) (largest %d); evicted %d edge(s), moving %d route(s)"
+            !vl n_nontrivial largest !layer_edges !n_movers);
+      Obs.Trace.end_span span
+        ~attrs:
+          [
+            ("sccs", Obs.Trace.Int scc.Scc.num_comps);
+            ("nontrivial", Obs.Trace.Int n_nontrivial);
+            ("largest", Obs.Trace.Int largest);
+            ("evictions", Obs.Trace.Int !layer_edges);
+            ("movers", Obs.Trace.Int !n_movers);
+          ];
+      (* Stream the movers straight into layer k+1's CSR build — a scan
+         of just the moved pairs, not the store's full capacity. *)
+      let movers = Array.of_list !movers in
+      Array.sort compare movers;
+      current := Some (Obs.Timer.time t_rebuild (fun () -> Cdg.of_store ~pairs:movers store));
+      incr vl
+    end
+  done;
+  match !error with
+  | Some msg -> Error msg
+  | None ->
+    let layers_used = 1 + Array.fold_left max 0 layer_of_path in
+    Ok { layer_of_path; layers_used; cycles_broken = !cycles_broken }
+
+let assign_store ?(engine = `Scc) ?(domains = 1) store ~max_layers ~heuristic =
   if max_layers < 1 then invalid_arg "Layers.assign: max_layers < 1";
   Obs.Counter.incr c_assignments;
   let span =
@@ -86,12 +402,21 @@ let assign_store store ~max_layers ~heuristic =
         [
           ("paths", Obs.Trace.Int (Route_store.num_paths store));
           ("max_layers", Obs.Trace.Int max_layers);
+          ("engine", Obs.Trace.Str (engine_to_string engine));
         ])
   in
-  let result = Obs.Timer.time t_assign (fun () -> assign_store_inner store ~max_layers ~heuristic) in
+  let result =
+    Obs.Timer.time t_assign (fun () ->
+        match engine with
+        | `Dfs -> assign_store_dfs store ~max_layers ~heuristic
+        | `Scc -> assign_store_scc store ~max_layers ~heuristic ~domains)
+  in
   (match result with
   | Ok o ->
     Obs.Counter.incr ~n:o.cycles_broken c_cycles;
+    Log.info (fun m ->
+        m "assigned %d routes over %d layer(s), breaking %d cycle(s)" (Route_store.num_paths store)
+          o.layers_used o.cycles_broken);
     Obs.Trace.end_span span
       ~attrs:
         [
@@ -101,8 +426,8 @@ let assign_store store ~max_layers ~heuristic =
   | Error msg -> Obs.Trace.end_span span ~attrs:[ ("error", Obs.Trace.Str msg) ]);
   result
 
-let assign g ~paths ~max_layers ~heuristic =
-  assign_store (Route_store.of_paths g paths) ~max_layers ~heuristic
+let assign ?engine ?domains g ~paths ~max_layers ~heuristic =
+  assign_store ?engine ?domains (Route_store.of_paths g paths) ~max_layers ~heuristic
 
 let balance outcome ~max_layers =
   let used = outcome.layers_used in

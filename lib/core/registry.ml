@@ -4,19 +4,20 @@ type algorithm = {
   run : Graph.t -> (Ftable.t, string) result;
 }
 
-let dfsssp_run ?variant ~max_layers ?batch ?domains ?kernel g =
-  match Router.route ?variant ~max_layers ?batch ?domains ?kernel g with
+let dfsssp_run ?variant ?engine ~max_layers ?batch ?domains ?kernel g =
+  match Router.route ?variant ?engine ~max_layers ?batch ?domains ?kernel g with
   | Ok ft -> Ok ft
   | Error e -> Error (Router.error_to_string e)
 
 (* Harden an arbitrary base routing with the offline layer assignment —
    the APP machinery is routing-agnostic (DESIGN.md: ablations). *)
-let hardened base ~max_layers g =
+let hardened ?engine ?domains base ~max_layers g =
   match base g with
   | Error _ as e -> e
-  | Ok ft -> Result.map_error Router.error_to_string (Router.assign_layers ~max_layers ft)
+  | Ok ft ->
+    Result.map_error Router.error_to_string (Router.assign_layers ?engine ?domains ~max_layers ft)
 
-let all ?coords ?(max_layers = 8) ?batch ?domains ?kernel () =
+let all ?coords ?(max_layers = 8) ?engine ?batch ?domains ?kernel () =
   [
     {
       name = "minhop";
@@ -48,7 +49,11 @@ let all ?coords ?(max_layers = 8) ?batch ?domains ?kernel () =
       deadlock_free_by_design = false;
       run = Routing.Sssp.route ?batch ?domains ?kernel;
     };
-    { name = "dfsssp"; deadlock_free_by_design = true; run = dfsssp_run ~max_layers ?batch ?domains ?kernel };
+    {
+      name = "dfsssp";
+      deadlock_free_by_design = true;
+      run = dfsssp_run ?engine ~max_layers ?batch ?domains ?kernel;
+    };
     {
       name = "dfsssp-online";
       deadlock_free_by_design = true;
@@ -57,7 +62,7 @@ let all ?coords ?(max_layers = 8) ?batch ?domains ?kernel () =
     {
       name = "dfminhop";
       deadlock_free_by_design = true;
-      run = (fun g -> hardened (Routing.Minhop.route ?batch ?domains ?kernel) ~max_layers g);
+      run = (fun g -> hardened ?engine ?domains (Routing.Minhop.route ?batch ?domains ?kernel) ~max_layers g);
     };
     {
       name = "dfdor";
@@ -66,12 +71,12 @@ let all ?coords ?(max_layers = 8) ?batch ?domains ?kernel () =
         (fun g ->
           match coords with
           | None -> Error "dfdor: no grid coordinates available for this fabric"
-          | Some c -> hardened (fun g -> Routing.Dor.route ?domains ?kernel g c) ~max_layers g);
+          | Some c -> hardened ?engine ?domains (fun g -> Routing.Dor.route ?domains ?kernel g c) ~max_layers g);
     };
   ]
 
 let names = List.map (fun a -> a.name) (all ())
 
-let find ?coords ?max_layers ?batch ?domains ?kernel name =
+let find ?coords ?max_layers ?engine ?batch ?domains ?kernel name =
   let target = String.lowercase_ascii name in
-  List.find_opt (fun a -> a.name = target) (all ?coords ?max_layers ?batch ?domains ?kernel ())
+  List.find_opt (fun a -> a.name = target) (all ?coords ?max_layers ?engine ?batch ?domains ?kernel ())

@@ -18,10 +18,14 @@ type algorithm = {
     wall-clock; LASH ignores both. [kernel] selects the shortest-path
     core (DESIGN.md §15) on the engines that compute shortest paths
     (MinHop, LASH, SSSP, DFSSSP and the hardened variants); it never
-    changes any table. *)
+    changes any table. [engine] selects the offline cycle-break engine
+    (DESIGN.md section 17) on DFSSSP and the hardened variants; it
+    changes only the wall-clock of the break stage, with layer counts
+    within +1 of the DFS oracle. *)
 val all :
   ?coords:Coords.t ->
   ?max_layers:int ->
+  ?engine:Layers.engine ->
   ?batch:int ->
   ?domains:int ->
   ?kernel:Routing.Spf.kind ->
@@ -33,6 +37,7 @@ val all :
 val find :
   ?coords:Coords.t ->
   ?max_layers:int ->
+  ?engine:Layers.engine ->
   ?batch:int ->
   ?domains:int ->
   ?kernel:Routing.Spf.kind ->

@@ -20,15 +20,15 @@ let apply_layers ft store layer_of_path layers_used =
       Routing.Ftable.set_layer ft ~src ~dst layer_of_path.(pair));
   Routing.Ftable.set_num_layers ft layers_used
 
-let assign_layers ?(variant = Offline) ?(heuristic = Heuristic.Weakest) ?(max_layers = 8)
-    ?(balance = false) ft =
+let assign_layers ?(variant = Offline) ?engine ?domains ?(heuristic = Heuristic.Weakest)
+    ?(max_layers = 8) ?(balance = false) ft =
   match Routing.Ftable.to_store ft with
   | Error msg -> Error (Routing_failed msg)
   | Ok store -> (
     let assignment =
       match variant with
       | Offline -> (
-        match Layers.assign_store store ~max_layers ~heuristic with
+        match Layers.assign_store ?engine ?domains store ~max_layers ~heuristic with
         | Error msg -> Error msg
         | Ok outcome ->
           let layer_of_path, layers_in_use =
@@ -47,7 +47,7 @@ let assign_layers ?(variant = Offline) ?(heuristic = Heuristic.Weakest) ?(max_la
       apply_layers ft store layer_of_path layers_used;
       Ok ft)
 
-let route ?variant ?heuristic ?max_layers ?balance ?batch ?domains ?pool ?kernel g =
+let route ?variant ?engine ?heuristic ?max_layers ?balance ?batch ?domains ?pool ?kernel g =
   let span =
     Obs.Trace.begin_span "dfsssp.route" ~attrs:(fun () ->
         [
@@ -61,7 +61,7 @@ let route ?variant ?heuristic ?max_layers ?balance ?batch ?domains ?pool ?kernel
     match Routing.Sssp.route ?batch ?domains ?pool ?kernel g with
     | Error msg -> Error (Routing_failed msg)
     | Ok ft -> (
-      match assign_layers ?variant ?heuristic ?max_layers ?balance ft with
+      match assign_layers ?variant ?engine ?domains ?heuristic ?max_layers ?balance ft with
       | Ok ft as ok ->
         Log.info (fun m ->
             m "routed %d terminals over %d channels: %d virtual layer(s)"
@@ -80,12 +80,12 @@ let route ?variant ?heuristic ?max_layers ?balance ?batch ?domains ?pool ?kernel
   | Error e -> Obs.Trace.end_span span ~attrs:[ ("error", Obs.Trace.Str (error_to_string e)) ]);
   result
 
-let layers_required ?variant ?heuristic ?max_layers ?batch ?domains ?kernel g =
-  match route ?variant ?heuristic ?max_layers ?batch ?domains ?kernel g with
+let layers_required ?variant ?engine ?heuristic ?max_layers ?batch ?domains ?kernel g =
+  match route ?variant ?engine ?heuristic ?max_layers ?batch ?domains ?kernel g with
   | Error e -> Error e
   | Ok ft -> Ok (Routing.Ftable.num_layers ft)
 
-let route_min_layers ?(max_layers = 8) ?batch ?(domains = 1) ?kernel g =
+let route_min_layers ?engine ?(max_layers = 8) ?batch ?(domains = 1) ?kernel g =
   (* Try every cycle-breaking heuristic and keep the assignment with the
      fewest layers — cheap insurance against the APP heuristic gap the
      paper leaves open (Section IV). With [domains > 1] the heuristics
@@ -96,7 +96,9 @@ let route_min_layers ?(max_layers = 8) ?batch ?(domains = 1) ?kernel g =
   let heuristics = Array.of_list Heuristic.all in
   let nh = Array.length heuristics in
   let results = Array.make nh (Error (Routing_failed "not attempted")) in
-  let run _scratch i = results.(i) <- route ~heuristic:heuristics.(i) ~max_layers ?batch ?kernel g in
+  let run _scratch i =
+    results.(i) <- route ?engine ~heuristic:heuristics.(i) ~max_layers ?batch ?kernel g
+  in
   if domains > 1 && nh > 1 then
     Parallel.Pool.with_pool ~domains
       (fun _slot -> ())

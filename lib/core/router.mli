@@ -27,6 +27,8 @@ val error_to_string : error -> string
     deadlock-free.
 
     - [variant] (default [Offline]) selects the layer-assignment engine.
+    - [engine] (default [`Scc]) selects the offline cycle-break engine
+      ({!Layers.engine}; DESIGN.md section 17). Ignored by [Online].
     - [heuristic] (default {!Cdg.Heuristic.Weakest}) picks the cycle edge
       to evict (offline variant only).
     - [max_layers] (default 8, the virtual lanes current InfiniBand
@@ -37,7 +39,8 @@ val error_to_string : error -> string
       {!Routing.Ftable.num_layers} remains the number {e required}.
     - [batch]/[domains]/[pool] select {!Routing.Sssp}'s batched-snapshot
       pipeline for the SSSP stage (defaults reproduce the sequential
-      recurrence; see DESIGN.md section 12).
+      recurrence; see DESIGN.md section 12). [domains] also fans the
+      [`Scc] break planning out across components.
     - [kernel] selects the shortest-path core of the SSSP stage
       (default {!Routing.Spf.Auto}; DESIGN.md §15). Never changes the
       tables.
@@ -46,6 +49,7 @@ val error_to_string : error -> string
     every successful result. *)
 val route :
   ?variant:variant ->
+  ?engine:Layers.engine ->
   ?heuristic:Heuristic.t ->
   ?max_layers:int ->
   ?balance:bool ->
@@ -60,6 +64,7 @@ val route :
     layer count alone (the quantity of the paper's Figs. 9/10). *)
 val layers_required :
   ?variant:variant ->
+  ?engine:Layers.engine ->
   ?heuristic:Heuristic.t ->
   ?max_layers:int ->
   ?batch:int ->
@@ -73,9 +78,12 @@ val layers_required :
     oblivious routing (DOR on a torus, MinHop on an irregular fabric)
     becomes deadlock-free this way, not only SSSP; the APP machinery is
     routing-agnostic. Overwrites [ft]'s layer table in place and returns
-    it. *)
+    it. [engine]/[domains] select and parallelise the offline break
+    engine as in {!route}. *)
 val assign_layers :
   ?variant:variant ->
+  ?engine:Layers.engine ->
+  ?domains:int ->
   ?heuristic:Heuristic.t ->
   ?max_layers:int ->
   ?balance:bool ->
@@ -92,6 +100,7 @@ val assign_layers :
     identical to the sequential scan's. [batch] is forwarded to the SSSP
     stage and, unlike [domains], changes the routes themselves. *)
 val route_min_layers :
+  ?engine:Layers.engine ->
   ?max_layers:int ->
   ?batch:int ->
   ?domains:int ->

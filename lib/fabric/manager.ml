@@ -10,6 +10,7 @@ type config = {
   batch : int;
   domains : int;
   kernel : Spf.kind;
+  engine : Layers.engine;
 }
 
 let default_config =
@@ -21,6 +22,7 @@ let default_config =
     batch = 1;
     domains = 1;
     kernel = Spf.Auto;
+    engine = `Scc;
   }
 
 type action =
@@ -90,14 +92,18 @@ let full_route t =
     with
     | Error msg -> Error msg
     | Ok ft -> (
-      match Dfsssp.assign_layers ~max_layers:t.config.max_layers ft with
+      match
+        Dfsssp.assign_layers ~engine:t.config.engine ~domains:t.config.domains
+          ~max_layers:t.config.max_layers ft
+      with
       | Ok ft -> Ok ft
       | Error e -> Error (Dfsssp.error_to_string e))
   end
   else
     match
-      Dfsssp.Registry.find ~max_layers:t.config.max_layers ~batch:t.config.batch
-        ~domains:t.config.domains ~kernel:t.config.kernel t.config.algorithm
+      Dfsssp.Registry.find ~max_layers:t.config.max_layers ~engine:t.config.engine
+        ~batch:t.config.batch ~domains:t.config.domains ~kernel:t.config.kernel
+        t.config.algorithm
     with
     | None -> Error (Printf.sprintf "unknown algorithm %S" t.config.algorithm)
     | Some a -> a.Dfsssp.Registry.run g

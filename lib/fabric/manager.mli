@@ -35,10 +35,16 @@ type config = {
       (** shortest-path kernel for full recomputes and incremental
           repairs (DESIGN.md §15). Never changes the tables, only the
           wall-clock *)
+  engine : Layers.engine;
+      (** offline cycle-break engine for full recomputes (DESIGN.md
+          section 17; default [`Scc]). [domains] also fans its
+          per-component planning out. Layer counts stay within +1 of
+          the [`Dfs] oracle *)
 }
 
 (** [{ algorithm = "dfsssp"; max_layers = 8; layer_budget = 8;
-    repair_fraction = 0.5; batch = 1; domains = 1; kernel = Spf.Auto }] *)
+    repair_fraction = 0.5; batch = 1; domains = 1; kernel = Spf.Auto;
+    engine = `Scc }] *)
 val default_config : config
 
 type action =

@@ -168,20 +168,24 @@ let online_engines ?(max_endpoints = 512) () =
             | Error _ -> Report.Missing
           in
           let online engine () = Online.assign_store ~engine store ~max_layers:16 in
-          let offline () = Layers.assign_store store ~max_layers:16 ~heuristic:Heuristic.Weakest in
+          let offline engine () =
+            Layers.assign_store ~engine store ~max_layers:16 ~heuristic:Heuristic.Weakest
+          in
           [
             Report.Int r.Tableone.endpoints;
             time (online `Dfs);
             time (online `Pk);
-            time offline;
+            time (offline `Dfs);
+            time (offline `Scc);
           ]))
       (Tableone.rows_up_to max_endpoints)
   in
   {
     Report.title = "Ablation: online cycle-check engines vs offline sweep (k-ary n-tree, SSSP paths)";
-    columns = [ "#endpoints"; "online DFS"; "online Pearce-Kelly"; "offline (Alg. 2)" ];
+    columns =
+      [ "#endpoints"; "online DFS"; "online Pearce-Kelly"; "offline DFS"; "offline SCC" ];
     rows;
-    notes = [ "assignment time only (routes precomputed); all three are deadlock-free" ];
+    notes = [ "assignment time only (routes precomputed); all four are deadlock-free" ];
   }
 
 let adversarial_patterns () =

@@ -7,12 +7,16 @@ val paper_algorithms : string list
 
 (** [run_named ?coords ?max_layers name g] routes [g], or explains why the
     algorithm refused. [batch]/[domains] select the batched-snapshot
-    pipeline on supporting engines (see {!Dfsssp.Registry.all}). *)
+    pipeline, [kernel] the shortest-path core and [engine] the offline
+    cycle-break engine on supporting algorithms (see
+    {!Dfsssp.Registry.all}). *)
 val run_named :
   ?coords:Coords.t ->
   ?max_layers:int ->
+  ?engine:Layers.engine ->
   ?batch:int ->
   ?domains:int ->
+  ?kernel:Routing.Spf.kind ->
   string ->
   Graph.t ->
   (Ftable.t, string) result

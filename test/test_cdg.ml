@@ -346,6 +346,130 @@ let heuristics_all_sound_qcheck =
           Heuristic.all)
 
 (* ------------------------------------------------------------------ *)
+(* Scc and the break-engine knob                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_engine_strings () =
+  List.iter
+    (fun e ->
+      match Layers.engine_of_string (Layers.engine_to_string e) with
+      | Ok e' -> Alcotest.(check bool) "round trip" true (e = e')
+      | Error msg -> Alcotest.fail msg)
+    [ `Scc; `Dfs ];
+  Alcotest.(check bool) "unknown rejected" true (Result.is_error (Layers.engine_of_string "bogus"))
+
+let test_scc_condensation () =
+  let g, paths = ring_fixture 5 in
+  let cdg = Cdg.create g in
+  Array.iteri (fun i p -> Cdg.add_path cdg ~pair:i p) paths;
+  let scc = Scc.of_cdg cdg in
+  (* the 5 switch->switch channels form one cycle; every other channel is
+     its own singleton component *)
+  check Alcotest.int "one non-trivial component" 1 (Array.length scc.Scc.nontrivial);
+  check Alcotest.int "of the ring's 5 channels" 5 (Array.length scc.Scc.nontrivial.(0));
+  let comp = scc.Scc.comp_of.(scc.Scc.nontrivial.(0).(0)) in
+  Array.iter
+    (fun c -> check Alcotest.int "members agree on comp id" comp scc.Scc.comp_of.(c))
+    scc.Scc.nontrivial.(0);
+  check Alcotest.int "singletons + ring" (Graph.num_channels g - 4) scc.Scc.num_comps;
+  (* breaking one ring edge dissolves the component *)
+  Cdg.remove_path cdg ~pair:0 paths.(0);
+  let scc' = Scc.of_cdg cdg in
+  check Alcotest.int "acyclic after removal" 0 (Array.length scc'.Scc.nontrivial)
+
+let test_scc_self_loop_nontrivial () =
+  let g, _ = ring_fixture 5 in
+  let cdg = Cdg.create g in
+  (* a path that reuses a channel makes a self-dependency *)
+  let c = (Graph.out_channels g (Graph.switches g).(0)).(0) in
+  Cdg.add_path cdg ~pair:0 [| c; c |];
+  let scc = Scc.of_cdg cdg in
+  check Alcotest.int "self-loop is non-trivial" 1 (Array.length scc.Scc.nontrivial);
+  check Alcotest.(array int) "the looping channel" [| c |] scc.Scc.nontrivial.(0)
+
+let engines = [ (`Scc, "scc"); (`Dfs, "dfs") ]
+
+let test_layers_ring_both_engines () =
+  let g, paths = ring_fixture 5 in
+  List.iter
+    (fun (engine, name) ->
+      match Layers.assign ~engine g ~paths ~max_layers:8 ~heuristic:Heuristic.Weakest with
+      | Error e -> Alcotest.failf "%s: %s" name e
+      | Ok outcome ->
+        check Alcotest.int (name ^ ": two layers suffice") 2 outcome.Layers.layers_used;
+        Alcotest.(check bool) (name ^ ": broke something") true (outcome.Layers.cycles_broken >= 1);
+        Alcotest.(check bool)
+          (name ^ ": acyclic layers")
+          true
+          (Acyclic.layers_acyclic g ~paths ~layer_of_path:outcome.Layers.layer_of_path
+             ~num_layers:outcome.Layers.layers_used))
+    engines
+
+let test_layers_budget_both_engines () =
+  let g, paths = ring_fixture 5 in
+  List.iter
+    (fun (engine, name) ->
+      match Layers.assign ~engine g ~paths ~max_layers:1 ~heuristic:Heuristic.Weakest with
+      | Error msg ->
+        Alcotest.(check bool) (name ^ ": explains") true (Testutil.contains msg "no layer is left")
+      | Ok _ -> Alcotest.failf "%s: 1 layer cannot be deadlock-free on the ring pattern" name)
+    engines
+
+let test_scc_acyclic_input () =
+  let g, paths = ring_fixture 7 in
+  let some = [| paths.(0); paths.(2); paths.(4) |] in
+  match Layers.assign ~engine:`Scc g ~paths:some ~max_layers:8 ~heuristic:Heuristic.Weakest with
+  | Error e -> Alcotest.fail e
+  | Ok outcome ->
+    check Alcotest.int "one layer" 1 outcome.Layers.layers_used;
+    check Alcotest.int "no evictions" 0 outcome.Layers.cycles_broken
+
+let test_scc_domains_deterministic () =
+  let rng = Rng.create 11 in
+  let g = Topo_random.make ~switches:8 ~switch_radix:8 ~terminals:16 ~inter_links:12 ~rng in
+  match Routing.Sssp.route g with
+  | Error e -> Alcotest.fail e
+  | Ok ft -> (
+    let paths = ref [] in
+    Routing.Ftable.iter_pairs ft (fun ~src:_ ~dst:_ p -> paths := p :: !paths);
+    let paths = Array.of_list !paths in
+    let run domains =
+      match Layers.assign ~engine:`Scc ~domains g ~paths ~max_layers:16 ~heuristic:Heuristic.Weakest with
+      | Error e -> Alcotest.fail e
+      | Ok o -> o
+    in
+    let seq = run 1 and par = run 3 in
+    check Alcotest.(array int) "identical assignment" seq.Layers.layer_of_path par.Layers.layer_of_path;
+    check Alcotest.int "identical layer count" seq.Layers.layers_used par.Layers.layers_used;
+    check Alcotest.int "identical evictions" seq.Layers.cycles_broken par.Layers.cycles_broken)
+
+let engines_agree_qcheck =
+  qtest ~count:20 "scc engine sound and within one layer of the dfs oracle"
+    QCheck2.Gen.(int_range 0 1000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let g = Topo_random.make ~switches:8 ~switch_radix:8 ~terminals:16 ~inter_links:12 ~rng in
+      match Routing.Sssp.route g with
+      | Error _ -> false
+      | Ok ft ->
+        let paths = ref [] in
+        Routing.Ftable.iter_pairs ft (fun ~src:_ ~dst:_ p -> paths := p :: !paths);
+        let paths = Array.of_list !paths in
+        let run engine =
+          match Layers.assign ~engine g ~paths ~max_layers:16 ~heuristic:Heuristic.Weakest with
+          | Error _ -> None
+          | Ok o ->
+            if
+              Acyclic.layers_acyclic g ~paths ~layer_of_path:o.Layers.layer_of_path
+                ~num_layers:o.Layers.layers_used
+            then Some o.Layers.layers_used
+            else None
+        in
+        (match (run `Scc, run `Dfs) with
+        | Some scc, Some dfs -> scc <= dfs + 1
+        | _ -> false))
+
+(* ------------------------------------------------------------------ *)
 (* Online                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -620,6 +744,17 @@ let () =
           Alcotest.test_case "empty input" `Quick test_layers_empty;
           Alcotest.test_case "balance" `Quick test_layers_balance;
           heuristics_all_sound_qcheck;
+        ] );
+      ( "scc",
+        [
+          Alcotest.test_case "engine strings" `Quick test_engine_strings;
+          Alcotest.test_case "condensation" `Quick test_scc_condensation;
+          Alcotest.test_case "self-loop" `Quick test_scc_self_loop_nontrivial;
+          Alcotest.test_case "ring needs 2 (both engines)" `Quick test_layers_ring_both_engines;
+          Alcotest.test_case "budget exhausted (both engines)" `Quick test_layers_budget_both_engines;
+          Alcotest.test_case "acyclic input" `Quick test_scc_acyclic_input;
+          Alcotest.test_case "domains deterministic" `Quick test_scc_domains_deterministic;
+          engines_agree_qcheck;
         ] );
       ( "online",
         [

@@ -68,6 +68,24 @@ let test_budget_exhaustion () =
   | Error e -> Alcotest.failf "wrong error: %s" (Dfsssp.error_to_string e)
   | Ok _ -> Alcotest.fail "expected exhaustion"
 
+(* The paper's VL figures must not depend on the break engine: on the
+   Fig. 9 random-topology family and the Fig. 10 real systems, the SCC
+   engine reproduces the DFS oracle's layer counts exactly — same CDGs,
+   same heuristic, same eviction order within each component. *)
+let test_fig_layer_parity () =
+  let parity name g =
+    let vl engine = expect name (Dfsssp.layers_required ~engine ~max_layers:64 g) in
+    check Alcotest.int (name ^ ": scc matches dfs") (vl `Dfs) (vl `Scc)
+  in
+  for t = 0 to 2 do
+    let rng = Rng.create ((7 * 10007) + (t * 31)) in
+    let g = Topo_random.make ~switches:32 ~switch_radix:16 ~terminals:64 ~inter_links:80 ~rng in
+    parity (Printf.sprintf "fig9 random %d" t) g
+  done;
+  List.iter
+    (fun (s : Clusters.system) -> parity ("fig10 " ^ s.Clusters.name) s.Clusters.graph)
+    (Clusters.all ~scale:16 ())
+
 let test_variants_and_heuristics () =
   let g = fst (Topo_torus.torus ~dims:[| 3; 3 |] ~terminals_per_switch:2) in
   List.iter
@@ -294,6 +312,7 @@ let () =
           Alcotest.test_case "ring needs 2 layers" `Quick test_ring_needs_two_layers;
           Alcotest.test_case "tree needs 1 layer" `Quick test_tree_needs_one_layer;
           Alcotest.test_case "budget exhaustion" `Quick test_budget_exhaustion;
+          Alcotest.test_case "fig 9/10 layer parity across engines" `Quick test_fig_layer_parity;
           Alcotest.test_case "variants and heuristics" `Quick test_variants_and_heuristics;
           Alcotest.test_case "balance spreads" `Quick test_balance_spreads;
           Alcotest.test_case "weakest vs heaviest" `Slow test_weakest_not_worse_than_heaviest;

@@ -566,6 +566,32 @@ let registry_engines_certify =
             | Analysis.Analyzer.Rejected _ -> not a.Dfsssp.Registry.deadlock_free_by_design))
         (Dfsssp.Registry.all ?coords ~max_layers:16 ()))
 
+(* Both offline cycle-break engines must hand the analyzer certifiable
+   tables on the registry's fabric mix, with the SCC engine's layer
+   count within one of the DFS oracle's (DESIGN.md section 17). *)
+let break_engines_certify =
+  qtest ~count:10 "break engines: scc and dfs both certify, layers within one" seed_gen
+    (fun seed ->
+      let rng = Rng.create seed in
+      let g =
+        match Rng.int rng 3 with
+        | 0 -> fst (Topo_torus.torus ~dims:[| 4; 4 |] ~terminals_per_switch:1)
+        | 1 -> Testutil.random_graph ~terminals:10 rng
+        | _ -> Topo_kautz.make ~b:2 ~n:3 ~endpoints:18
+      in
+      let layers engine =
+        match Dfsssp.route ~engine ~max_layers:16 g with
+        | Error _ -> None
+        | Ok ft -> (
+          let report = Analysis.Analyzer.analyze ft in
+          match report.Analysis.Analyzer.verdict with
+          | Analysis.Analyzer.Certified _ -> Some (Routing.Ftable.num_layers ft)
+          | Analysis.Analyzer.Rejected _ -> None)
+      in
+      match (layers `Scc, layers `Dfs) with
+      | Some scc, Some dfs -> scc <= dfs + 1
+      | _ -> false)
+
 (* ------------------------------------------------------------------ *)
 (* Collective schedules partition the pair space                        *)
 (* ------------------------------------------------------------------ *)
@@ -633,7 +659,7 @@ let () =
       ("cdg", [ cycle_vs_kahn; resumable_matches_naive; cdg_matches_reference ]);
       ("interop", [ sl_dump_matches_layers; ftable_io_random ]);
       ("degradation", [ switch_removal_sound ]);
-      ("certification", [ registry_engines_certify ]);
+      ("certification", [ registry_engines_certify; break_engines_certify ]);
       ("fabric", [ fabric_manager_converges ]);
       ("collectives", [ a2a_rounds_partition ]);
       ("multipath", [ multipath_sound ]);
