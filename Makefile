@@ -1,4 +1,4 @@
-.PHONY: all check test lint doc clean bench-cdg bench-routing bench-analysis bench-break break-smoke analyze-examples kernel-equivalence bench-service smoke-service coverage
+.PHONY: all check test lint doc clean bench-cdg bench-routing bench-analysis bench-break break-smoke analyze-examples kernel-equivalence bench-service smoke-service coverage zoo soak soak-smoke
 
 all:
 	dune build
@@ -8,10 +8,31 @@ all:
 # determinism smoke of the parallel routing pipeline, and test_spf, the
 # kernel-equivalence property suite), the routing certifier signs off
 # on the example topologies, the SSSP kernels agree bit-for-bit on
-# the quick equivalence fixtures, and the two cycle-break engines agree
-# on a small torus (break-smoke).
+# the quick equivalence fixtures, the two cycle-break engines agree
+# on a small torus (break-smoke), the topology-zoo conformance battery
+# certifies every corpus file and generator sample, and a quick churn
+# soak (>= 200 seeded events) survives with every epoch recertified.
 check:
-	dune build && dune build --profile release && dune runtest && $(MAKE) lint && $(MAKE) analyze-examples && $(MAKE) kernel-equivalence && $(MAKE) break-smoke && $(MAKE) smoke-service
+	dune build && dune build --profile release && dune runtest && $(MAKE) lint && $(MAKE) analyze-examples && $(MAKE) kernel-equivalence && $(MAKE) break-smoke && $(MAKE) smoke-service && $(MAKE) zoo && $(MAKE) soak-smoke
+
+# Topology-zoo conformance battery (doc/topology_ingestion.md): every
+# file under examples/zoo plus the seeded jellyfish/xpander samples,
+# through the full registry, certifier, existence lower bounds and
+# kernel/engine parity. Exit 0 iff zero conformance failures.
+zoo:
+	dune exec bin/fabric_tool.exe -- zoo
+
+# Quick churn soak, part of `check`: three fabrics, >= 200 applied
+# seeded events total, every epoch swap recertified by the trusted
+# checker. Failing runs dump a reproduction artifact (seed + trace)
+# under _build/soak/ and print its path.
+soak-smoke:
+	dune exec bin/fabric_tool.exe -- soak torus:4x4 torus:3x3x3 xpander:4,5:11 --events 90 --seed 7
+
+# Long-haul churn soak (not part of `check`): larger fabrics, more
+# events, switch removals and drains included.
+soak:
+	dune exec --profile release bin/fabric_tool.exe -- soak torus:5x5 torus:3x3x3 dragonfly:4,2,2 jellyfish:18,8,5:3 xpander:4,6:11 --events 400 --seed 11
 
 test: check
 

@@ -1010,6 +1010,152 @@ let client_cmd =
           stats, trace, analyze, epoch, shutdown), schedule replay, or raw JSON scripting")
     Term.(const run $ socket_arg $ tcp_arg $ host_arg $ schedule_file $ script_file $ limit $ op_args)
 
+(* import: foreign topology files -> validated fabrics *)
+let import_cmd =
+  let run path format strict terminals out dot =
+    let format =
+      match String.lowercase_ascii format with
+      | "auto" -> None
+      | "dot" -> Some Netgraph.Topo_import.Dot
+      | "edgelist" -> Some Netgraph.Topo_import.Edge_list
+      | other ->
+        prerr_endline (Printf.sprintf "unknown format %S (want auto|dot|edgelist)" other);
+        exit 2
+    in
+    let mode = if strict then Netgraph.Topo_import.Strict else Netgraph.Topo_import.Lenient in
+    match Netgraph.Topo_import.load ~mode ?format ~terminals_per_switch:terminals path with
+    | Error msg ->
+      prerr_endline (Printf.sprintf "%s: %s" path msg);
+      2
+    | Ok imported ->
+      let g = imported.Netgraph.Topo_import.graph in
+      List.iter
+        (fun (d : Netgraph.Topo_import.diag) ->
+          Format.printf "repair (line %d): %s@." d.Netgraph.Topo_import.line
+            d.Netgraph.Topo_import.message)
+        imported.Netgraph.Topo_import.diags;
+      if imported.Netgraph.Topo_import.dropped_nodes > 0 then
+        Format.printf "dropped %d node(s) outside the largest component@."
+          imported.Netgraph.Topo_import.dropped_nodes;
+      Format.printf "%a@." Netgraph.Graph.pp_stats g;
+      (match Netgraph.Graph.validate g with
+      | Ok () -> Format.printf "valid: yes@."
+      | Error msg -> Format.printf "valid: NO (%s)@." msg);
+      Option.iter
+        (fun p ->
+          Netgraph.Serial.save p g;
+          Format.printf "wrote %s@." p)
+        out;
+      Option.iter
+        (fun p ->
+          Out_channel.with_open_text p (fun oc ->
+              Out_channel.output_string oc (Netgraph.Topo_import.write_dot g));
+          Format.printf "wrote %s@." p)
+        dot;
+      0
+  in
+  let path = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
+  let format =
+    Arg.(
+      value
+      & opt string "auto"
+      & info [ "format" ] ~docv:"FMT" ~doc:"Input format: auto (sniff), dot or edgelist.")
+  in
+  let strict =
+    Arg.(
+      value
+      & flag
+      & info [ "strict" ]
+          ~doc:"Reject files needing repair (duplicates, self loops, disconnection) instead of fixing them.")
+  in
+  let terminals =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "terminals" ] ~docv:"N"
+          ~doc:"Synthetic terminals per switch when the file declares none.")
+  in
+  let out = Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Text format output.") in
+  let dot = Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE" ~doc:"Round-trip DOT output.") in
+  Cmd.v
+    (Cmd.info "import"
+       ~doc:"import a DOT or edge-list topology file, repairing or rejecting quirks")
+    Term.(const run $ path $ format $ strict $ terminals $ out $ dot)
+
+(* zoo: corpus + generator conformance battery *)
+let zoo_cmd =
+  let run dir extra_specs generators_only =
+    let corpus =
+      if generators_only then []
+      else
+        match (dir, Harness.Zoo.find_corpus_dir ()) with
+        | Some d, _ -> Harness.Zoo.corpus_specs ~dir:d
+        | None, Some d -> Harness.Zoo.corpus_specs ~dir:d
+        | None, None ->
+          prerr_endline "no corpus directory found (looked for examples/zoo); use --dir";
+          exit 2
+    in
+    let specs = corpus @ Harness.Zoo.generator_specs @ extra_specs in
+    let subjects = Harness.Zoo.run ~specs () in
+    Format.printf "%a" Harness.Zoo.pp_summary subjects;
+    if Harness.Zoo.failures subjects = [] then 0 else 1
+  in
+  let dir =
+    Arg.(value & opt (some string) None & info [ "dir" ] ~docv:"DIR" ~doc:"Corpus directory (default: examples/zoo).")
+  in
+  let extra =
+    Arg.(value & opt_all string [] & info [ "spec" ] ~docv:"SPEC" ~doc:"Additional topology spec to include.")
+  in
+  let generators_only =
+    Arg.(value & flag & info [ "generators-only" ] ~doc:"Skip the file corpus; only the seeded generator samples.")
+  in
+  Cmd.v
+    (Cmd.info "zoo"
+       ~doc:
+         "run the topology-zoo conformance battery: every corpus file and generator sample \
+          through the full registry, certifier, existence bounds and kernel/engine parity")
+    Term.(const run $ dir $ extra $ generators_only)
+
+(* soak: long-haul churn against the live manager *)
+let soak_cmd =
+  let run specs events seed removals drains max_layers artifact_dir =
+    if specs = [] then begin
+      prerr_endline "soak: need at least one topology SPEC";
+      exit 2
+    end;
+    let config =
+      { Fabric.Manager.default_config with max_layers; layer_budget = max_layers }
+    in
+    let results =
+      Harness.Soak.run ~config ?switch_removals:removals ?drains ~artifact_dir ~specs ~seed
+        ~events ()
+    in
+    Format.printf "%a" Harness.Soak.pp_summary results;
+    if Harness.Soak.failures results = [] then 0 else 1
+  in
+  let specs = Arg.(value & pos_all string [] & info [] ~docv:"SPEC") in
+  let events = Arg.(value & opt int 200 & info [ "events" ] ~docv:"N" ~doc:"Churn events per spec.") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Schedule seed (reproduces a failing run).") in
+  let removals =
+    Arg.(value & opt (some int) None & info [ "removals" ] ~docv:"N" ~doc:"Switch removals (default events/20).")
+  in
+  let drains =
+    Arg.(value & opt (some int) None & info [ "drains" ] ~docv:"N" ~doc:"Switch drains (default events/10).")
+  in
+  let max_layers = Arg.(value & opt int 8 & info [ "max-layers" ] ~docv:"N") in
+  let artifact_dir =
+    Arg.(
+      value
+      & opt string (Filename.concat "_build" "soak")
+      & info [ "artifact-dir" ] ~docv:"DIR" ~doc:"Where failing runs dump reproduction artifacts.")
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:
+         "churn soak: drive the fabric manager through a seeded schedule of failures, recoveries, \
+          drains and removals, recertifying every epoch swap; failures dump a reproduction artifact")
+    Term.(const run $ specs $ events $ seed $ removals $ drains $ max_layers $ artifact_dir)
+
 let () =
   let doc = "fabric generation, inspection and conversion utilities" in
   exit
@@ -1021,6 +1167,9 @@ let () =
             convert_cmd;
             degrade_cmd;
             diff_cmd;
+            import_cmd;
+            zoo_cmd;
+            soak_cmd;
             analyze_cmd;
             manage_cmd;
             trace_cmd;

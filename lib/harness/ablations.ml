@@ -114,6 +114,42 @@ let dragonfly ?(patterns = 30) ?(seed = 22) ?batch ?domains () =
       ];
   }
 
+let random_graphs ?(max_layers = 8) () =
+  let rows =
+    List.filter_map
+      (fun spec ->
+        match Topospec.parse spec with
+        | Error _ -> None
+        | Ok t ->
+          let g = t.Topospec.graph in
+          let existence = Analysis.Existence.analyze g in
+          Some
+            [
+              Report.Str spec;
+              Report.Int (Graph.num_switches g);
+              Report.Int (Graph.num_terminals g);
+              Report.Str
+                (if Analysis.Existence.feasible existence ~budget:max_layers then "yes" else "NO");
+              Report.Int existence.Analysis.Existence.min_layers_lb;
+              Runs.vl_cell ~max_layers "updown" g;
+              Runs.vl_cell ~max_layers "lash" g;
+              Runs.vl_cell ~max_layers "dfsssp" g;
+              Runs.analyzer_run_cell ~max_layers "dfsssp" g;
+            ])
+      Zoo.generator_specs
+  in
+  {
+    Report.title = "Extension: expander-family random graphs (jellyfish, xpander) — existence and VL lower bounds";
+    columns =
+      [ "spec"; "switches"; "terminals"; "feasible@8"; "VL lower bound"; "updown VLs"; "lash VLs"; "dfsssp VLs"; "analyzer" ];
+    rows;
+    notes =
+      [
+        "seeded samples from the zoo battery (Zoo.generator_specs); deterministic in the spec";
+        "VL lower bound = provable per-topology layer minimum (Analysis.Existence)";
+      ];
+  }
+
 let balancing ?(seed = 23) () =
   (* Layer balancing spreads routes over unused lanes: same wire, more
      buffer slots in use. Measure drain time of a heavy shift pattern on

@@ -23,6 +23,12 @@ val hardened_routings : ?patterns:int -> ?seed:int -> ?batch:int -> ?domains:int
     {!hardened_routings}. *)
 val dragonfly : ?patterns:int -> ?seed:int -> ?batch:int -> ?domains:int -> unit -> Report.table
 
+(** The expander-family random graphs of the zoo battery
+    ({!Zoo.generator_specs}: two jellyfish and two xpander samples):
+    existence feasibility, the provable VL lower bound, and the layer
+    counts the deadlock-free algorithms actually pay on each. *)
+val random_graphs : ?max_layers:int -> unit -> Report.table
+
 (** Packet-simulator throughput with and without layer balancing. *)
 val balancing : ?seed:int -> unit -> Report.table
 

@@ -16,9 +16,46 @@ let grammar_lines =
     "dragonfly:<a>,<p>,<h>[:<groups>]";
     "hyperx:<d1>x<d2>[x...][:<terminals_per_switch>]";
     "random:<switches>,<radix>,<terminals>,<links>[:<seed>]";
+    "jellyfish:<switches>,<ports>,<net_ports>[:<seed>]";
+    "xpander:<degree>,<lift>[,<terminals_per_switch>][:<seed>]";
     "cluster:<chic|juropa|odin|ranger|tsubame|deimos>[:<scale>]";
     "file:<path>";
+    "dot:<path>[:<terminals_per_switch>]";
+    "edgelist:<path>[:<terminals_per_switch>]";
   ]
+
+(* Kind names for the did-you-mean suggestion on unknown specs. *)
+let known_kinds =
+  [
+    "ring"; "torus"; "mesh"; "hypercube"; "tree"; "xgft"; "kautz"; "dragonfly"; "hyperx";
+    "random"; "jellyfish"; "xpander"; "cluster"; "file"; "dot"; "edgelist";
+  ]
+
+let levenshtein a b =
+  let la = String.length a and lb = String.length b in
+  let prev = Array.init (lb + 1) Fun.id in
+  let cur = Array.make (lb + 1) 0 in
+  for i = 1 to la do
+    cur.(0) <- i;
+    for j = 1 to lb do
+      let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+      cur.(j) <- min (min (cur.(j - 1) + 1) (prev.(j) + 1)) (prev.(j - 1) + cost)
+    done;
+    Array.blit cur 0 prev 0 (lb + 1)
+  done;
+  prev.(lb)
+
+let suggestion token =
+  let scored = List.map (fun k -> (levenshtein token k, k)) known_kinds in
+  let sorted = List.sort compare scored in
+  match sorted with
+  | (d, k) :: _ when d <= 3 && d < String.length k -> Printf.sprintf " (did you mean %S?)" k
+  | _ -> ""
+
+let unknown_kind token =
+  Error
+    (Printf.sprintf "unknown topology kind %S%s; known kinds: %s" token (suggestion token)
+       (String.concat ", " known_kinds))
 
 let int_of s = match int_of_string_opt (String.trim s) with Some v -> Ok v | None -> Error (Printf.sprintf "not a number: %S" s)
 
@@ -137,11 +174,51 @@ let parse spec =
           match Clusters.by_name ~scale name with
           | None -> Error (Printf.sprintf "unknown system %S" name)
           | Some s -> wrap s.Clusters.description s.Clusters.graph))
+      | "jellyfish" -> (
+        let* params = match arg 0 with Some s -> ints_of ',' s | None -> Error "jellyfish: missing parameters" in
+        match params with
+        | [ switches; ports; net_ports ] ->
+          let* seed = opt_int 1 1 in
+          let rng = Rng.create seed in
+          wrap
+            (Printf.sprintf "jellyfish: %d switches x %d ports (%d network), seed %d"
+               switches ports net_ports seed)
+            (Topo_jellyfish.make ~switches ~ports ~net_ports ~rng)
+        | _ -> Error "jellyfish: want switches,ports,net_ports")
+      | "xpander" -> (
+        let* params = match arg 0 with Some s -> ints_of ',' s | None -> Error "xpander: missing parameters" in
+        match params with
+        | [ net_degree; lift ] | [ net_degree; lift; _ ] ->
+          let terminals = match params with [ _; _; t ] -> Some t | _ -> None in
+          let* seed = opt_int 1 1 in
+          let rng = Rng.create seed in
+          wrap
+            (Printf.sprintf "xpander: degree %d, lift %d (%d switches), seed %d"
+               net_degree lift ((net_degree + 1) * lift) seed)
+            (Topo_xpander.make ~net_degree ~lift ?terminals_per_switch:terminals ~rng ())
+        | _ -> Error "xpander: want degree,lift[,terminals_per_switch]")
       | "file" -> (
         match arg 0 with
         | None -> Error "file: missing path"
         | Some path ->
           let* graph = Serial.load path in
           wrap (Printf.sprintf "loaded from %s" path) graph)
-      | other -> Error (Printf.sprintf "unknown topology kind %S" other)
+      | ("dot" | "edgelist") as which -> (
+        match arg 0 with
+        | None -> Error (which ^ ": missing path")
+        | Some path ->
+          let format = if which = "dot" then Topo_import.Dot else Topo_import.Edge_list in
+          let* terminals = opt_int 1 1 in
+          let* imported =
+            Topo_import.load ~mode:Topo_import.Lenient ~format ~terminals_per_switch:terminals path
+          in
+          let repairs =
+            match List.length imported.Topo_import.diags with
+            | 0 -> ""
+            | n -> Printf.sprintf ", %d repair%s" n (if n = 1 then "" else "s")
+          in
+          wrap
+            (Printf.sprintf "imported %s from %s%s" which path repairs)
+            imported.Topo_import.graph)
+      | other -> unknown_kind other
     with Invalid_argument msg -> Error msg)

@@ -1,0 +1,31 @@
+let connect_components ~switches ~edges ~rng =
+  let edges = Array.of_list edges in
+  let degree = Array.make switches 0 in
+  Array.iter
+    (fun (a, b) ->
+      degree.(a) <- degree.(a) + 1;
+      degree.(b) <- degree.(b) + 1)
+    edges;
+  Array.iteri
+    (fun s d -> if d = 0 then invalid_arg (Printf.sprintf "Rewire.connect_components: switch %d isolated" s))
+    degree;
+  let dsu = Dsu.create switches in
+  Array.iter (fun (a, b) -> ignore (Dsu.union dsu a b)) edges;
+  while Dsu.count dsu > 1 do
+    (* one cable inside switch 0's component, one outside; swapping their
+       endpoints merges the two components and touches no degree *)
+    let trunk = Dsu.find dsu 0 in
+    let inside = ref [] and outside = ref [] in
+    Array.iteri
+      (fun i (a, _) ->
+        if Dsu.find dsu a = trunk then inside := i :: !inside else outside := i :: !outside)
+      edges;
+    let i = Rng.pick rng (Array.of_list (List.rev !inside)) in
+    let j = Rng.pick rng (Array.of_list (List.rev !outside)) in
+    let a, b = edges.(i) and c, d = edges.(j) in
+    edges.(i) <- (a, c);
+    edges.(j) <- (b, d);
+    ignore (Dsu.union dsu a c);
+    ignore (Dsu.union dsu b d)
+  done;
+  Array.to_list edges

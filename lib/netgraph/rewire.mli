@@ -1,0 +1,19 @@
+(** Degree-preserving connectivity repair for the random topology
+    generators ({!Topo_jellyfish}, {!Topo_xpander}).
+
+    Random near-regular graphs are connected with high probability but
+    not always; rather than resample (which would make the cable count
+    depend on luck), repair deterministically: while more than one
+    component remains, replace one cable [(a, b)] of the component
+    containing switch 0 and one cable [(c, d)] of another component with
+    [(a, c)] and [(b, d)]. Both new cables span the two components, so
+    every switch keeps its degree, no self loops or parallel cables can
+    appear, and the components merge. *)
+
+(** [connect_components ~switches ~edges ~rng] returns the repaired
+    cable list (same length, same degree sequence). [edges] are
+    unordered switch pairs without self loops or duplicates.
+    @raise Invalid_argument if some switch has no cable at all — degree
+    swaps cannot help an isolated switch. *)
+val connect_components :
+  switches:int -> edges:(int * int) list -> rng:Rng.t -> (int * int) list

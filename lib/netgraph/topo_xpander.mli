@@ -1,0 +1,15 @@
+(** Xpander topology (Valadarsky et al., HotNets'15 / NSDI'16 line):
+    a deterministic-given-seed random [lift] of the complete graph
+    [K_(net_degree + 1)] — each of the [net_degree + 1] meta-nodes
+    becomes [lift] switches, and each meta-edge becomes a uniformly
+    random perfect matching between the two copies' switch groups. The
+    result is [net_degree]-regular on [(net_degree + 1) * lift]
+    switches with near-optimal expansion; a degree-preserving edge-swap
+    pass ({!Rewire}) guarantees connectivity on the rare disconnected
+    draw. [terminals_per_switch] terminals (default 1) attach to every
+    switch. *)
+
+(** @raise Invalid_argument on [net_degree < 2], [lift < 1], or
+    [terminals_per_switch < 0]. *)
+val make :
+  net_degree:int -> lift:int -> ?terminals_per_switch:int -> rng:Rng.t -> unit -> Graph.t

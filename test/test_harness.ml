@@ -376,6 +376,25 @@ let test_ablation_dragonfly () =
   let t = Harness.Ablations.dragonfly ~patterns:5 () in
   check Alcotest.int "all algorithms listed" 7 (List.length t.Harness.Report.rows)
 
+let test_ablation_random_graphs () =
+  let t = Harness.Ablations.random_graphs () in
+  check Alcotest.int "two jellyfish + two xpander samples" 4 (List.length t.Harness.Report.rows);
+  List.iter
+    (fun row ->
+      let cs = cells row in
+      check Alcotest.string (List.nth cs 0 ^ " feasible") "yes" (List.nth cs 3);
+      check Alcotest.string (List.nth cs 0 ^ " certified") "certified" (List.nth cs 8);
+      (* the lower bound never exceeds what dfsssp actually pays *)
+      match (List.nth row 4, List.nth row 7) with
+      | Harness.Report.Int lb, Harness.Report.Int vls ->
+        Alcotest.(check bool) "lb <= dfsssp VLs" true (lb <= vls)
+      | _ -> Alcotest.fail "lower bound or dfsssp VLs missing")
+    t.Harness.Report.rows;
+  Alcotest.(check bool) "jellyfish sampled" true
+    (List.exists (fun row -> Testutil.contains (List.nth (cells row) 0) "jellyfish") t.Harness.Report.rows);
+  Alcotest.(check bool) "xpander sampled" true
+    (List.exists (fun row -> Testutil.contains (List.nth (cells row) 0) "xpander") t.Harness.Report.rows)
+
 let test_ablation_quality_and_budget () =
   let q = Harness.Ablations.routing_quality ~scale:16 () in
   check Alcotest.int "seven algorithms" 7 (List.length q.Harness.Report.rows);
@@ -497,6 +516,7 @@ let () =
           Alcotest.test_case "initial weight" `Quick test_ablation_initial_weight;
           Alcotest.test_case "hardened routings" `Quick test_ablation_hardened;
           Alcotest.test_case "dragonfly" `Quick test_ablation_dragonfly;
+          Alcotest.test_case "random graphs" `Quick test_ablation_random_graphs;
           Alcotest.test_case "balancing" `Quick test_ablation_balancing;
           Alcotest.test_case "quality, budget, multipath" `Slow test_ablation_quality_and_budget;
           Alcotest.test_case "complexity" `Quick test_ablation_complexity;
